@@ -1,0 +1,35 @@
+"""Benchmark configuration.
+
+Each ``test_figXX.py`` regenerates one paper figure (printing the same
+rows the paper plots) inside ``pytest-benchmark`` timing, then asserts
+the figure's headline *shape*.  The default benchmark scale is small so
+the whole suite runs in a few minutes; set ``REPRO_BENCH_SCALE`` to
+``quick`` / ``default`` / ``paper`` to rerun at larger sizes (figure
+shapes are scale-stable — see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import SCALES, ExperimentScale
+
+#: tuned so the full benchmark suite completes in minutes
+BENCH = ExperimentScale("bench", 2_500, 2, 40, space_bits=14)
+
+
+@pytest.fixture(scope="session")
+def scale() -> ExperimentScale:
+    """The active benchmark scale."""
+    name = os.environ.get("REPRO_BENCH_SCALE")
+    if name:
+        return SCALES[name]
+    return BENCH
+
+
+def render(result) -> None:
+    """Print a figure's rows into the benchmark log."""
+    print()
+    print(result.render())

@@ -1,0 +1,66 @@
+"""Micro-benchmarks of the core operations (real timing statistics).
+
+Unlike the per-figure benches (which wrap a whole experiment once),
+these measure the hot paths repeatedly: building a full implicit
+multicast tree and resolving a lookup, for each of the four systems.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.multicast.session import MulticastGroup, SystemKind
+
+
+def build_group(kind: SystemKind, size: int = 2_000, bits: int = 14):
+    rng = Random(1)
+    bandwidths = [rng.uniform(400, 1000) for _ in range(size)]
+    return MulticastGroup.build(
+        kind,
+        bandwidths,
+        per_link_kbps=100,
+        space_bits=bits,
+        uniform_fanout=8,
+        seed=1,
+    )
+
+
+@pytest.mark.parametrize("kind", list(SystemKind), ids=lambda k: k.value)
+def test_multicast_tree_extraction(benchmark, kind):
+    group = build_group(kind)
+    source = group.random_member(Random(2))
+
+    tree = benchmark(lambda: group.multicast_from(source))
+    assert tree.receiver_count == len(group)
+
+
+@pytest.mark.parametrize("kind", list(SystemKind), ids=lambda k: k.value)
+def test_lookup(benchmark, kind):
+    group = build_group(kind)
+    rng = Random(3)
+    starts = [group.random_member(rng) for _ in range(64)]
+    keys = [rng.randrange(group.overlay.space.size) for _ in range(64)]
+    state = {"i": 0}
+
+    def one_lookup():
+        i = state["i"] = (state["i"] + 1) % 64
+        return group.lookup(starts[i], keys[i])
+
+    result = benchmark(one_lookup)
+    group.overlay.check_lookup_invariants(result, keys[state["i"]])
+
+
+def test_snapshot_resolution(benchmark):
+    group = build_group(SystemKind.CAM_CHORD)
+    rng = Random(4)
+    keys = [rng.randrange(group.overlay.space.size) for _ in range(1024)]
+    state = {"i": 0}
+
+    def one_resolve():
+        state["i"] = (state["i"] + 1) % 1024
+        return group.snapshot.resolve(keys[state["i"]])
+
+    node = benchmark(one_resolve)
+    assert node is not None

@@ -1,0 +1,24 @@
+"""Extension E bench: balanced splitter vs El-Ansary broadcast."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_balance
+from benchmarks.conftest import render
+
+
+def test_ext_balance(benchmark, scale):
+    result = benchmark.pedantic(
+        ext_balance.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    balanced = dict(result.get_series("balanced (ours)").points)
+    el_ansary = dict(result.get_series("el-ansary").points)
+    sources = {int(x) for x in balanced if x == int(x)}
+
+    for k in sources:
+        # our splitter caps root and max degree at the uniform fanout
+        assert balanced[float(k)] <= ext_balance.FANOUT
+        assert balanced[k + 0.2] <= ext_balance.FANOUT
+        # El-Ansary's root forwards to every distinct finger: ~(k-1)log_k n
+        assert el_ansary[float(k)] > 2 * ext_balance.FANOUT

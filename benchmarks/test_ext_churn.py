@@ -1,0 +1,26 @@
+"""Extension A bench: delivery ratio under churn (live protocol)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_churn
+from benchmarks.conftest import render
+
+
+def test_ext_churn(benchmark, scale):
+    result = benchmark.pedantic(ext_churn.run, args=(scale,), rounds=1, iterations=1)
+    render(result)
+
+    chord = dict(result.get_series("cam-chord").points)
+    koorde = dict(result.get_series("cam-koorde").points)
+    top_rate = max(chord)
+
+    # No churn: both systems deliver everything.
+    assert chord[0.0] == 1.0
+    assert koorde[0.0] == 1.0
+    # Under churn: flooding stays (near) lossless, the tree degrades.
+    assert koorde[top_rate] >= chord[top_rate]
+    assert koorde[top_rate] > 0.97
+    # Flooding pays with duplicate traffic.
+    koorde_dups = dict(result.get_series("cam-koorde dups/msg").points)
+    chord_dups = dict(result.get_series("cam-chord dups/msg").points)
+    assert koorde_dups[top_rate] > 10 * max(chord_dups[top_rate], 1.0)

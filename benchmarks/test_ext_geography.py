@@ -1,0 +1,31 @@
+"""Extension G bench: Geographic Layout vs PNS vs random (§5.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_geography
+from benchmarks.conftest import render
+
+
+def mean_at(series, offset: float) -> float:
+    values = [y for x, y in series.points if abs(x % 1 - offset) < 1e-9]
+    return sum(values) / len(values)
+
+
+def test_ext_geography(benchmark, scale):
+    result = benchmark.pedantic(
+        ext_geography.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    random_delay = mean_at(result.get_series("random layout"), 0.0)
+    pns_delay = mean_at(result.get_series("random + pns"), 0.0)
+    geo_delay = mean_at(result.get_series("geographic layout"), 0.0)
+
+    # both §5.2 techniques beat the random baseline on delay ...
+    assert pns_delay < random_delay
+    assert geo_delay < random_delay
+    # ... with hop counts within 15% of the baseline's
+    random_hops = mean_at(result.get_series("random layout"), 0.5)
+    for label in ("random + pns", "geographic layout"):
+        hops = mean_at(result.get_series(label), 0.5)
+        assert hops < random_hops * 1.15

@@ -1,0 +1,24 @@
+"""Extension B bench: Section 5.1 forwarding-load balance."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_load
+from benchmarks.conftest import render
+
+
+def test_ext_load(benchmark, scale):
+    result = benchmark.pedantic(ext_load.run, args=(scale,), rounds=1, iterations=1)
+    render(result)
+
+    flood = dict(result.get_series("flooding").points)
+    tree = dict(result.get_series("single-tree").points)
+
+    # Same total work (x=0 is mean kbits per node) ...
+    assert abs(flood[0] - tree[0]) / tree[0] < 0.05
+    # ... but flooding spreads it: smaller peak-to-mean, smaller spread,
+    # and far fewer idle members (tree-building idles every leaf, the
+    # majority when fanout > 2 — Section 5.1).
+    assert flood[1] < tree[1]
+    assert flood[2] < tree[2]
+    assert flood[3] < 0.2
+    assert tree[3] > 0.5

@@ -1,0 +1,26 @@
+"""Extension C bench: lookup hop scaling (Theorems 1-2, 5)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_lookup
+from benchmarks.conftest import render
+
+
+def test_ext_lookup(benchmark, scale):
+    result = benchmark.pedantic(ext_lookup.run, args=(scale,), rounds=1, iterations=1)
+    render(result)
+
+    reference = result.get_series("ln(n)/ln(7) reference")
+    for label in ("cam-chord", "cam-koorde", "chord", "koorde"):
+        series = result.get_series(label)
+        ys = series.ys()
+        # hops grow with n ...
+        assert ys[-1] > ys[0], label
+        # ... sublinearly: 10x the nodes costs far less than 10x hops
+        assert ys[-1] < 4 * ys[0], label
+    # CAM-Chord's greedy descent stays within a small constant of the
+    # ln(n)/ln(mean capacity) theory curve.
+    for (_, hops), (_, ref) in zip(
+        result.get_series("cam-chord").points, reference.points
+    ):
+        assert hops < 2.5 * ref

@@ -1,0 +1,26 @@
+"""Extension D bench: proximity neighbor selection (Section 5.2)."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_proximity
+from benchmarks.conftest import render
+
+
+def test_ext_proximity(benchmark, scale):
+    result = benchmark.pedantic(
+        ext_proximity.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    default = dict(result.get_series("default (mean, max, hops)").points)
+    pns = dict(result.get_series("pns (mean, max, hops)").points)
+    sources = {int(x) for x in default if x == int(x)}
+
+    mean_default = sum(default[float(k)] for k in sources) / len(sources)
+    mean_pns = sum(pns[float(k)] for k in sources) / len(sources)
+    # PNS cuts mean delivery delay ...
+    assert mean_pns < mean_default
+    # ... without inflating hop counts by more than ~15%.
+    hops_default = sum(default[k + 0.5] for k in sources) / len(sources)
+    hops_pns = sum(pns[k + 0.5] for k in sources) / len(sources)
+    assert hops_pns < hops_default * 1.15

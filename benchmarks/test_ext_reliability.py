@@ -1,0 +1,27 @@
+"""Extension F bench: acked repair vs baseline under churn."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_reliability
+from benchmarks.conftest import render
+
+
+def test_ext_reliability(benchmark, scale):
+    result = benchmark.pedantic(
+        ext_reliability.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    baseline = dict(result.get_series("baseline").points)
+    repaired = dict(result.get_series("acked-repair").points)
+    top_rate = max(baseline)
+
+    # Both lossless with no churn.
+    assert baseline[0.0] == 1.0
+    assert repaired[0.0] == 1.0
+    # Repair recovers (most of) the churn loss.
+    assert repaired[top_rate] >= baseline[top_rate]
+    assert repaired[top_rate] > 0.9
+    # ... at far below flooding's duplicate cost (extA: ~1000/msg).
+    repair_dups = dict(result.get_series("acked-repair dups/msg").points)
+    assert repair_dups[top_rate] < 100

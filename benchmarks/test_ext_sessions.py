@@ -1,0 +1,26 @@
+"""Extension I bench: FastTrack-style session churn."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_sessions
+from benchmarks.conftest import render
+
+
+def test_ext_sessions(benchmark, scale):
+    result = benchmark.pedantic(
+        ext_sessions.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    chord = dict(result.get_series("cam-chord").points)
+    koorde = dict(result.get_series("cam-koorde").points)
+    shortest = min(chord)
+    longest = max(chord)
+
+    # long sessions: both systems essentially lossless
+    assert chord[longest] > 0.95
+    assert koorde[longest] > 0.99
+    # short sessions hurt the tree more than the flood
+    assert koorde[shortest] >= chord[shortest]
+    # delivery degrades as sessions shorten
+    assert chord[shortest] < chord[longest]

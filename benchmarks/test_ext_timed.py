@@ -1,0 +1,19 @@
+"""Extension H bench: timed pipeline vs analytic throughput model."""
+
+from __future__ import annotations
+
+from repro.experiments import ext_timed
+from benchmarks.conftest import render
+
+
+def test_ext_timed(benchmark, scale):
+    result = benchmark.pedantic(ext_timed.run, args=(scale,), rounds=1, iterations=1)
+    render(result)
+
+    ratios = result.get_series("measured/analytic (long)")
+    for per_link, ratio in ratios.points:
+        assert 0.8 <= ratio <= 1.0001, (per_link, ratio)
+    shorts = dict(result.get_series("measured short-message (kbps)").points)
+    analytic = dict(result.get_series("analytic bottleneck (kbps)").points)
+    for per_link in analytic:
+        assert shorts[per_link] < analytic[per_link]

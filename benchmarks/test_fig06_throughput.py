@@ -1,0 +1,42 @@
+"""Figure 6 bench: throughput vs average number of children."""
+
+from __future__ import annotations
+
+from repro.experiments import fig06_throughput
+from benchmarks.conftest import render
+
+
+def test_fig06(benchmark, scale):
+    result = benchmark.pedantic(
+        fig06_throughput.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    cam_chord = dict(result.get_series("cam-chord").points)
+    cam_koorde = dict(result.get_series("cam-koorde").points)
+    chord = dict(result.get_series("chord").points)
+    koorde = dict(result.get_series("koorde").points)
+
+    # Shape 1: every curve decays with fanout (more children per node
+    # means less bandwidth per child link).
+    for series in (cam_chord, chord, koorde):
+        xs = sorted(series)
+        assert series[xs[0]] > series[xs[-1]]
+
+    # Shape 2: the capacity-aware systems beat their baselines at
+    # comparable fanout, by roughly the heterogeneity factor 1.75
+    # (paper: 70-80% improvement).
+    def interp(series: dict, x: float) -> float:
+        xs = sorted(series)
+        lo = max((v for v in xs if v <= x), default=xs[0])
+        hi = min((v for v in xs if v >= x), default=xs[-1])
+        if lo == hi:
+            return series[lo]
+        t = (x - lo) / (hi - lo)
+        return series[lo] * (1 - t) + series[hi] * t
+
+    for fanout in (8.0, 16.0, 32.0):
+        chord_ratio = interp(cam_chord, fanout) / interp(chord, fanout)
+        koorde_ratio = interp(cam_koorde, fanout) / interp(koorde, fanout)
+        assert 1.3 < chord_ratio < 2.6, f"cam-chord/chord @ {fanout}: {chord_ratio}"
+        assert 1.2 < koorde_ratio < 3.0, f"cam-koorde/koorde @ {fanout}: {koorde_ratio}"

@@ -1,0 +1,22 @@
+"""Figure 7 bench: throughput ratio vs bandwidth heterogeneity."""
+
+from __future__ import annotations
+
+from repro.experiments import fig07_ratio
+from benchmarks.conftest import render
+
+
+def test_fig07(benchmark, scale):
+    result = benchmark.pedantic(
+        fig07_ratio.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    reference = result.get_series("(a+b)/2a reference").ys()
+    for label in ("cam-chord over chord", "cam-koorde over koorde"):
+        ratios = result.get_series(label).ys()
+        # grows with the bandwidth range ...
+        assert ratios[-1] > ratios[0], label
+        # ... and tracks (a+b)/2a within a modest margin
+        for ratio, ref in zip(ratios, reference):
+            assert ref * 0.6 < ratio < ref * 1.45, (label, ratio, ref)

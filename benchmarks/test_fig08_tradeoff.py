@@ -1,0 +1,29 @@
+"""Figure 8 bench: throughput/latency trade-off and the CAM crossover."""
+
+from __future__ import annotations
+
+from repro.experiments import fig08_tradeoff
+from benchmarks.conftest import render
+
+
+def test_fig08(benchmark, scale):
+    result = benchmark.pedantic(
+        fig08_tradeoff.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    chord = result.get_series("cam-chord").points
+    koorde = result.get_series("cam-koorde").points
+
+    # Shape 1: latency rises with throughput for both systems.
+    for points in (chord, koorde):
+        assert points[-1][1] > points[0][1]
+
+    # Shape 2: at the low-throughput end (large capacities) CAM-Koorde's
+    # paths are no longer than CAM-Chord's; at the high-throughput end
+    # (small capacities) CAM-Chord wins (the paper's crossover).
+    low_chord, low_koorde = chord[0], koorde[0]
+    assert low_koorde[1] <= low_chord[1] * 1.1
+    high_chord = [y for x, y in chord if x >= 90]
+    high_koorde = [y for x, y in koorde if x >= 90]
+    assert min(high_koorde) > min(high_chord)

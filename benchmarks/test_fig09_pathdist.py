@@ -1,0 +1,35 @@
+"""Figure 9 bench: CAM-Chord path-length distributions."""
+
+from __future__ import annotations
+
+from repro.experiments import fig09_pathdist_cam_chord
+from benchmarks.conftest import render
+
+
+def mean_hops(series) -> float:
+    total = sum(x * y for x, y in series.points)
+    count = sum(y for _, y in series.points)
+    return total / count
+
+
+def test_fig09(benchmark, scale):
+    result = benchmark.pedantic(
+        fig09_pathdist_cam_chord.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    # Shape 1: widening the capacity range shifts the distribution left.
+    means = {series.label: mean_hops(series) for series in result.series}
+    assert means["4"] > means["[4..10]"] > means["[4..40]"] > means["[4..200]"]
+
+    # Shape 2: diminishing returns — the first widening helps much more
+    # than a later one of equal proportion.
+    gain_early = means["4"] - means["[4..10]"]
+    gain_late = means["[4..40]"] - means["[4..100]"]
+    assert gain_early > gain_late
+
+    # Shape 3: single peak, no heavy right tail: nothing is reached at
+    # more than ~2.5x the mean path length.
+    for series in result.series:
+        longest = max(x for x, _ in series.points)
+        assert longest <= 2.5 * means[series.label] + 2

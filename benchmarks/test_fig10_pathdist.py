@@ -1,0 +1,22 @@
+"""Figure 10 bench: CAM-Koorde path-length distributions."""
+
+from __future__ import annotations
+
+from repro.experiments import fig10_pathdist_cam_koorde
+from benchmarks.conftest import render
+from benchmarks.test_fig09_pathdist import mean_hops
+
+
+def test_fig10(benchmark, scale):
+    result = benchmark.pedantic(
+        fig10_pathdist_cam_koorde.run, args=(scale,), rounds=1, iterations=1
+    )
+    render(result)
+
+    means = {series.label: mean_hops(series) for series in result.series}
+    # Shape: curves shift left with wider capacity ranges, with the
+    # largest improvement at the start of the sweep.
+    assert means["4"] > means["[4..10]"] > means["[4..40]"] > means["[4..200]"]
+    gain_early = means["4"] - means["[4..10]"]
+    gain_late = means["[4..40]"] - means["[4..100]"]
+    assert gain_early > gain_late

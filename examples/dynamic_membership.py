@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Resilience demo: multicasting while members come and go.
+
+Runs the *live* maintenance protocol (join / stabilize / neighbor
+repair over a simulated lossy network) for both CAM systems, crashes a
+slice of the group mid-session, and shows what a multicast delivers
+before the tables have healed — the trade the paper describes: the
+CAM-Chord implicit tree has one path per member (fast, lean, but a
+stale table entry loses a whole subtree), while CAM-Koorde flooding
+rides redundant paths (lossless under churn, at the cost of duplicate
+traffic).
+
+Run:  python examples/dynamic_membership.py      (~30 s)
+"""
+
+from random import Random
+
+from repro.protocol import CamChordPeer, CamKoordePeer, Cluster
+
+MEMBERS = 80
+CRASH_FRACTION = 0.15
+
+
+def run_system(name: str, peer_class) -> None:
+    rng = Random(17)
+    capacities = [rng.randint(4, 10) for _ in range(MEMBERS)]
+    cluster = Cluster(peer_class, capacities, space_bits=14, seed=17)
+
+    print(f"--- {name} ---")
+    cluster.bootstrap()
+    print(f"bootstrapped {len(cluster.live_members())} members, "
+          f"ring consistent: {cluster.ring_consistent()}")
+
+    # A multicast on the stable ring: full delivery.
+    mid = cluster.multicast_from(cluster.random_live_peer().ident)
+    cluster.run(10)
+    print(f"stable-ring multicast : delivery {cluster.delivery_ratio(mid):.3f}, "
+          f"duplicates {cluster.monitor.duplicates[mid]}")
+
+    # Crash a slice of the group and multicast immediately.
+    victims = sorted(cluster.live_members())[:: int(1 / CRASH_FRACTION)]
+    for victim in victims:
+        cluster.remove_peer(victim, crash=True)
+    mid = cluster.multicast_from(cluster.random_live_peer().ident)
+    cluster.run(5)
+    print(f"right after {len(victims)} crashes: delivery "
+          f"{cluster.delivery_ratio(mid):.3f}, "
+          f"duplicates {cluster.monitor.duplicates[mid]}")
+
+    # Let the maintenance protocol heal, then multicast again.
+    cluster.run(120)
+    mid = cluster.multicast_from(cluster.random_live_peer().ident)
+    cluster.run(5)
+    print(f"after healing         : delivery {cluster.delivery_ratio(mid):.3f}, "
+          f"ring consistent: {cluster.ring_consistent()}")
+
+    # New members keep joining a healed ring without drama.
+    for _ in range(5):
+        cluster.add_peer(capacity=rng.randint(4, 10))
+    cluster.run(60)
+    print(f"after 5 joins         : {len(cluster.live_members())} members, "
+          f"ring consistent: {cluster.ring_consistent()}\n")
+
+
+def main() -> None:
+    run_system("CAM-Chord (implicit trees)", CamChordPeer)
+    run_system("CAM-Koorde (flooding)", CamKoordePeer)
+    print(
+        "Flooding keeps delivering through the crash window; the tree "
+        "loses the subtrees behind stale entries until stabilization "
+        "and neighbor repair catch up.  Both rings self-heal."
+    )
+
+
+if __name__ == "__main__":
+    main()

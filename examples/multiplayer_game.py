@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Any-source multicast for a distributed game (Section 5.1 in action).
+
+Scenario: 3,000 players exchange game events; *every* player is a
+source.  A single shared multicast tree would route all traffic through
+the same internal nodes (leaves — the majority — forward nothing,
+internal nodes forward everything).  The flooding architecture gives
+each source its own implicit tree, so forwarding work spreads across
+the whole group.
+
+The example pushes 200 events from 200 random sources through both
+architectures and prints the per-node forwarding-load statistics.
+
+Run:  python examples/multiplayer_game.py
+"""
+
+from random import Random
+
+from repro import MulticastGroup, SystemKind
+from repro.metrics.load import flooding_load, single_tree_load
+
+PLAYERS = 3_000
+EVENTS = 200
+EVENT_KBITS = 4.0  # a small state-update packet
+
+
+def describe(label: str, load) -> None:
+    print(f"{label:12s} mean={load.mean:8.1f} kbits  max/mean={load.max_over_mean:6.2f}  "
+          f"cov={load.coefficient_of_variation:5.2f}  idle={load.idle_fraction:5.1%}")
+
+
+def main() -> None:
+    rng = Random(5)
+    bandwidths = [rng.uniform(400, 1000) for _ in range(PLAYERS)]
+    group = MulticastGroup.build(
+        SystemKind.CAM_CHORD, bandwidths, per_link_kbps=100, seed=5
+    )
+
+    sources = [group.random_member(rng) for _ in range(EVENTS)]
+    trees = [group.multicast_from(source) for source in sources]
+    for tree in trees:
+        tree.verify_exactly_once({n.ident for n in group.snapshot})
+
+    print(f"{PLAYERS} players, {EVENTS} events of {EVENT_KBITS:g} kbits each\n")
+    flood = flooding_load(trees, message_kbits=EVENT_KBITS)
+    shared = single_tree_load(trees[0], message_count=EVENTS, message_kbits=EVENT_KBITS)
+    describe("flooding", flood)
+    describe("single-tree", shared)
+
+    print(
+        "\nSame total forwarding work, very different distribution: the "
+        "shared tree idles most players and concentrates the relaying on "
+        "a few internal nodes, while per-source implicit trees keep "
+        "everyone's share near the mean (Section 5.1)."
+    )
+
+    # Latency check: any-source means every player enjoys its own
+    # shallow tree rather than a detour through a fixed root.
+    depths = [tree.average_path_length() for tree in trees]
+    print(
+        f"\nper-event average path length: min={min(depths):.2f} "
+        f"mean={sum(depths)/len(depths):.2f} max={max(depths):.2f} hops"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Node capacity model.
+
+Capacity ``c_x`` is "the maximum number of direct children that a node
+is willing to forward multicast messages" (Section 2).  Section 6 ties
+it to upload bandwidth: ``c_x = floor(B_x / p)`` where ``p`` is the
+system-wide desired bandwidth per multicast-tree link.
+"""
+
+from repro.capacity.model import (
+    CAM_CHORD_MIN_CAPACITY,
+    CAM_KOORDE_MIN_CAPACITY,
+    CapacityModel,
+    capacity_from_bandwidth,
+)
+from repro.capacity.distributions import (
+    BandwidthDistribution,
+    CapacityDistribution,
+    FixedCapacity,
+    UniformBandwidth,
+    UniformCapacity,
+)
+
+__all__ = [
+    "CAM_CHORD_MIN_CAPACITY",
+    "CAM_KOORDE_MIN_CAPACITY",
+    "CapacityModel",
+    "capacity_from_bandwidth",
+    "BandwidthDistribution",
+    "CapacityDistribution",
+    "FixedCapacity",
+    "UniformCapacity",
+    "UniformBandwidth",
+]

@@ -1,0 +1,144 @@
+"""Capacity and bandwidth distributions used by the paper's evaluation.
+
+Defaults reproduce Section 6: capacities uniform in ``[4..10]``, upload
+bandwidths uniform in ``[400, 1000]`` kbps.  Every draw takes an
+explicit :class:`random.Random` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from random import Random
+
+
+class CapacityDistribution(ABC):
+    """A distribution over integer node capacities."""
+
+    @abstractmethod
+    def sample(self, rng: Random) -> int:
+        """Draw one capacity."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected capacity (used for the Figure 11 x-axis)."""
+
+    def sample_many(self, count: int, rng: Random) -> list[int]:
+        """Draw ``count`` capacities."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class FixedCapacity(CapacityDistribution):
+    """Every node has the same capacity (the paper's legend ``"4"``)."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.value}")
+
+    def sample(self, rng: Random) -> int:
+        return self.value
+
+    def mean(self) -> float:
+        return float(self.value)
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class UniformCapacity(CapacityDistribution):
+    """Capacities uniform on ``[low..high]`` (the paper's ``"[x..y]"``)."""
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"invalid range [{self.low}..{self.high}]")
+
+    def sample(self, rng: Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def __str__(self) -> str:
+        return f"[{self.low}..{self.high}]"
+
+
+class BandwidthDistribution(ABC):
+    """A distribution over upload bandwidths in kbps."""
+
+    @abstractmethod
+    def sample(self, rng: Random) -> float:
+        """Draw one bandwidth."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Expected bandwidth."""
+
+    @abstractmethod
+    def minimum(self) -> float:
+        """Infimum of the support (the baseline bottleneck bandwidth)."""
+
+    def sample_many(self, count: int, rng: Random) -> list[float]:
+        """Draw ``count`` bandwidths."""
+        return [self.sample(rng) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class UniformBandwidth(BandwidthDistribution):
+    """Bandwidths uniform on ``[low, high]`` kbps.
+
+    The paper's default range is ``[400, 1000]``; Figure 7 sweeps the
+    upper bound with the lower bound pinned at 400, and observes that
+    the CAM-over-baseline throughput ratio grows like ``(a + b) / 2a``
+    — :meth:`heterogeneity` computes exactly that statistic.
+    """
+
+    low: float = 400.0
+    high: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.low <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"invalid range [{self.low}, {self.high}]")
+
+    def sample(self, rng: Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2
+
+    def minimum(self) -> float:
+        return self.low
+
+    def heterogeneity(self) -> float:
+        """The paper's bandwidth-heterogeneity measure ``(a + b) / 2a``."""
+        return (self.low + self.high) / (2 * self.low)
+
+    def __str__(self) -> str:
+        return f"[{self.low:g}, {self.high:g}] kbps"
+
+
+def expected_log_capacity(distribution: CapacityDistribution) -> float:
+    """Monte-Carlo-free ``E[log2 c]`` for the uniform/fixed distributions.
+
+    Theorems 2/4/6 express path lengths through ``log c`` terms; this
+    helper evaluates the exact expectation for the distributions the
+    paper sweeps, so benchmark assertions can compare measured depths
+    against the theoretical scaling.
+    """
+    if isinstance(distribution, FixedCapacity):
+        return math.log2(distribution.value)
+    if isinstance(distribution, UniformCapacity):
+        values = range(distribution.low, distribution.high + 1)
+        return sum(math.log2(v) for v in values) / len(values)
+    raise TypeError(f"unsupported distribution: {type(distribution).__name__}")

@@ -1,0 +1,22 @@
+"""Membership dynamics: churn traces and resilience measurement.
+
+Section 5.1 motivates highly dynamic groups with the FastTrack
+measurements ("over 20% of the connections last 1 minute or less and
+60% of the IP addresses keep active ... for no more than 10 minutes"),
+and the conclusion claims CAM-Chord suits low churn / CAM-Koorde high
+churn.  This package generates churn workloads and measures delivery
+ratio while the maintenance protocol races the departures.
+"""
+
+from repro.churn.trace import ChurnEvent, ChurnTrace, poisson_trace, session_trace
+from repro.churn.runner import ChurnExperiment
+from repro.churn.resilience import ResilienceReport
+
+__all__ = [
+    "ChurnEvent",
+    "ChurnTrace",
+    "poisson_trace",
+    "session_trace",
+    "ChurnExperiment",
+    "ResilienceReport",
+]

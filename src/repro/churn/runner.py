@@ -1,0 +1,134 @@
+"""Drive a live cluster through a churn trace while multicasting.
+
+The experiment loop interleaves three activities on the simulated
+clock: churn events from the trace (join / leave / crash), periodic
+multicasts from random live sources, and delivery-ratio measurement a
+fixed propagation window after each send.  The result quantifies the
+paper's resilience claims: how much of the group still hears a message
+while the maintenance protocol races the membership changes.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Sequence, Type
+
+from repro.churn.resilience import ResilienceReport
+from repro.churn.trace import ChurnKind, ChurnTrace
+from repro.protocol.base_peer import BasePeer
+from repro.protocol.cluster import Cluster
+from repro.protocol.config import ProtocolConfig
+from repro.sim.latency import LatencyModel
+
+
+class ChurnExperiment:
+    """One system under one churn workload."""
+
+    def __init__(
+        self,
+        peer_class: Type[BasePeer],
+        capacities: Sequence[int],
+        bandwidths: Sequence[float] | None = None,
+        space_bits: int = 16,
+        config: ProtocolConfig | None = None,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        capacity_floor: int = 4,
+        capacity_ceiling: int | None = None,
+    ) -> None:
+        self.cluster = Cluster(
+            peer_class,
+            capacities,
+            bandwidths=bandwidths,
+            space_bits=space_bits,
+            config=config,
+            latency=latency,
+            loss_rate=loss_rate,
+            seed=seed,
+        )
+        self._rng = Random(seed ^ 0x5EED)
+        self._capacity_floor = capacity_floor
+        self._capacity_ceiling = capacity_ceiling
+        self._base_capacities = list(capacities)
+
+    def _sample_capacity(self) -> int:
+        """Capacity for a newly joining member (same law as the base)."""
+        capacity = self._rng.choice(self._base_capacities)
+        if self._capacity_ceiling is not None:
+            capacity = min(capacity, self._capacity_ceiling)
+        return max(self._capacity_floor, capacity)
+
+    def run(
+        self,
+        trace: ChurnTrace,
+        multicast_interval: float = 5.0,
+        propagation_window: float = 3.0,
+        system_name: str = "",
+    ) -> ResilienceReport:
+        """Bootstrap, then run the trace while multicasting.
+
+        Returns the filled :class:`ResilienceReport`.  Multicasts start
+        only after bootstrap convergence; each is measured
+        ``propagation_window`` seconds after it was sent.
+        """
+        cluster = self.cluster
+        cluster.bootstrap()
+        start = cluster.simulator.now
+        report = ResilienceReport(
+            system=system_name or type(cluster._initial[0]).__name__,
+            churn_rate=trace.rate_per_second(),
+        )
+
+        # Schedule churn events on the simulated clock.
+        for event in trace:
+            cluster.simulator.call_at(
+                start + event.time,
+                lambda kind=event.kind: self._apply_churn_event(kind),
+            )
+
+        # Interleave multicasts and measurements.
+        when = multicast_interval
+        while when + propagation_window < trace.duration:
+            send_at = start + when
+
+            def do_send() -> None:
+                try:
+                    source = cluster.random_live_peer(self._rng)
+                except RuntimeError:
+                    return
+                message_id = cluster.multicast_from(source.ident)
+                cluster.simulator.call_later(
+                    propagation_window,
+                    lambda: self._measure(report, message_id),
+                )
+
+            cluster.simulator.call_at(send_at, do_send)
+            when += multicast_interval
+
+        cluster.run(trace.duration + propagation_window)
+        report.final_membership = len(cluster.live_members())
+        return report
+
+    def _apply_churn_event(self, kind: ChurnKind) -> None:
+        cluster = self.cluster
+        if kind is ChurnKind.JOIN:
+            try:
+                cluster.add_peer(self._sample_capacity())
+            except RuntimeError:
+                pass
+            return
+        live = cluster.live_members()
+        if len(live) <= 2:
+            return  # keep a minimal ring alive
+        victim = self._rng.choice(sorted(live))
+        cluster.remove_peer(victim, crash=(kind is ChurnKind.CRASH))
+
+    def _measure(self, report: ResilienceReport, message_id: int) -> None:
+        cluster = self.cluster
+        report.delivery_ratios.append(cluster.delivery_ratio(message_id))
+        report.duplicates_per_message.append(
+            cluster.monitor.duplicates.get(message_id, 0)
+        )
+        report.ring_consistency_samples.append(cluster.ring_consistent())
+        report.path_lengths.extend(cluster.monitor.path_lengths(message_id))

@@ -1,0 +1,127 @@
+"""Churn trace generation.
+
+Two generators:
+
+* :func:`poisson_trace` — independent Poisson processes of joins and
+  departures (rate-controlled, the knob for "membership change
+  frequency" sweeps);
+* :func:`session_trace` — FastTrack-style sessions (Section 5.1):
+  members arrive as a Poisson process and stay for an exponentially
+  distributed lifetime, so short-lived members dominate.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Iterator, Sequence
+
+
+class ChurnKind(enum.Enum):
+    """What happens to a member."""
+
+    JOIN = "join"
+    LEAVE = "leave"  # graceful departure
+    CRASH = "crash"  # abrupt failure
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One membership change at a simulated instant."""
+
+    time: float
+    kind: ChurnKind
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A time-ordered sequence of membership changes."""
+
+    events: Sequence[ChurnEvent]
+    duration: float
+
+    def __iter__(self) -> Iterator[ChurnEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def rate_per_second(self) -> float:
+        """Average membership changes per simulated second."""
+        if self.duration <= 0:
+            return 0.0
+        return len(self.events) / self.duration
+
+
+def _exponential(rate: float, rng: Random) -> float:
+    """One exponential inter-arrival gap."""
+    return -math.log(1.0 - rng.random()) / rate
+
+
+def poisson_trace(
+    duration: float,
+    join_rate: float,
+    depart_rate: float,
+    crash_fraction: float = 1.0,
+    rng: Random | None = None,
+) -> ChurnTrace:
+    """Independent Poisson joins and departures.
+
+    ``crash_fraction`` of departures are abrupt crashes, the rest are
+    graceful leaves.  Rates are events per simulated second.
+    """
+    if duration < 0:
+        raise ValueError(f"duration must be >= 0, got {duration}")
+    if join_rate < 0 or depart_rate < 0:
+        raise ValueError("rates must be >= 0")
+    if not 0.0 <= crash_fraction <= 1.0:
+        raise ValueError(f"crash_fraction must be in [0, 1], got {crash_fraction}")
+    rng = rng if rng is not None else Random(0)
+    events: list[ChurnEvent] = []
+    for rate, is_join in ((join_rate, True), (depart_rate, False)):
+        if rate <= 0:
+            continue
+        when = _exponential(rate, rng)
+        while when < duration:
+            if is_join:
+                kind = ChurnKind.JOIN
+            else:
+                crash = rng.random() < crash_fraction
+                kind = ChurnKind.CRASH if crash else ChurnKind.LEAVE
+            events.append(ChurnEvent(when, kind))
+            when += _exponential(rate, rng)
+    events.sort(key=lambda event: event.time)
+    return ChurnTrace(tuple(events), duration)
+
+
+def session_trace(
+    duration: float,
+    arrival_rate: float,
+    mean_lifetime: float,
+    crash_fraction: float = 1.0,
+    rng: Random | None = None,
+) -> ChurnTrace:
+    """FastTrack-style sessions: Poisson arrivals, exponential stays.
+
+    Every join schedules its own departure ``Exp(mean_lifetime)``
+    later; departures beyond ``duration`` are dropped (the session
+    outlives the experiment).
+    """
+    if mean_lifetime <= 0:
+        raise ValueError(f"mean_lifetime must be positive, got {mean_lifetime}")
+    rng = rng if rng is not None else Random(0)
+    events: list[ChurnEvent] = []
+    if arrival_rate > 0:
+        when = _exponential(arrival_rate, rng)
+        while when < duration:
+            events.append(ChurnEvent(when, ChurnKind.JOIN))
+            departs = when + _exponential(1.0 / mean_lifetime, rng)
+            if departs < duration:
+                crash = rng.random() < crash_fraction
+                kind = ChurnKind.CRASH if crash else ChurnKind.LEAVE
+                events.append(ChurnEvent(departs, kind))
+            when += _exponential(arrival_rate, rng)
+    events.sort(key=lambda event: event.time)
+    return ChurnTrace(tuple(events), duration)

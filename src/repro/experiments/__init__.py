@@ -1,0 +1,25 @@
+"""Reproduction harness: one module per figure of Section 6 plus the
+extension experiments of DESIGN.md.
+
+Run everything::
+
+    python -m repro.experiments --scale quick all
+
+or a single figure::
+
+    python -m repro.experiments fig6 fig11
+
+Scales: ``quick`` (n=5,000 — seconds per figure), ``default``
+(n=30,000), ``paper`` (n=100,000, the paper's group size).  Figure
+*shapes* (orderings, crossovers, ratios) are stable across scales; see
+EXPERIMENTS.md for the measured outputs.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    FigureResult,
+    Series,
+    resolve_scale,
+)
+
+__all__ = ["ExperimentScale", "FigureResult", "Series", "resolve_scale"]

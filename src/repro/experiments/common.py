@@ -1,0 +1,171 @@
+"""Shared experiment plumbing: scales, result containers, group builders."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from random import Random
+from typing import Callable, Sequence
+
+from repro.capacity.distributions import CapacityDistribution, UniformBandwidth
+from repro.multicast.delivery import MulticastResult
+from repro.multicast.session import MulticastGroup, SystemKind
+from repro.overlay.base import RingSnapshot
+from repro.workloads.groups import GroupSpec, generate_group
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Sizing of one harness run.
+
+    ``group_size`` is the paper's n (default 100,000); ``sources`` is
+    how many random roots each measurement averages over;
+    ``protocol_size`` bounds the live-protocol (churn) experiments,
+    which simulate real message exchanges and are far more expensive
+    per member than the structural figures.
+    """
+
+    name: str
+    group_size: int
+    sources: int
+    protocol_size: int
+    space_bits: int = 19
+
+
+# space_bits shrinks with the group so that the member density n/N stays
+# near the paper's 100,000 / 2**19 ~ 0.19 — identifier-window occupancy,
+# and with it tree fanout at the deep levels, depends on that density.
+SCALES = {
+    "quick": ExperimentScale("quick", 5_000, 2, 60, space_bits=15),
+    "default": ExperimentScale("default", 30_000, 3, 120, space_bits=17),
+    "paper": ExperimentScale("paper", 100_000, 3, 200, space_bits=19),
+}
+
+
+def resolve_scale(name: str | None = None) -> ExperimentScale:
+    """Pick a scale by name, CLI argument, or ``REPRO_SCALE`` env var."""
+    chosen = name or os.environ.get("REPRO_SCALE", "default")
+    try:
+        return SCALES[chosen]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {chosen!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+@dataclass
+class Series:
+    """One plotted line: (x, y) pairs plus a label."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+
+@dataclass
+class FigureResult:
+    """Everything one figure module produces.
+
+    ``rows`` is the printable table (the "same rows the paper reports");
+    ``series`` carries the raw data for assertions in the benchmarks.
+    """
+
+    figure: str
+    title: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def get_series(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r} in {self.figure}")
+
+    def render(self) -> str:
+        """Human-readable block: title, one table per series, notes."""
+        lines = [f"== {self.figure}: {self.title} =="]
+        for series in self.series:
+            lines.append(f"-- {series.label}")
+            for x, y in series.points:
+                lines.append(f"   {x:>12.4g}  {y:>12.4g}")
+        for note in self.notes:
+            lines.append(f"   note: {note}")
+        return "\n".join(lines)
+
+
+# -- group construction -----------------------------------------------------
+
+
+def bandwidth_group(
+    kind: SystemKind,
+    scale: ExperimentScale,
+    per_link_kbps: float,
+    bandwidth: UniformBandwidth | None = None,
+    uniform_fanout: int = 2,
+    seed: int = 0,
+) -> MulticastGroup:
+    """A group in the Figures 6-8 setup: capacities from bandwidths."""
+    bandwidth = bandwidth if bandwidth is not None else UniformBandwidth()
+    rng = Random(seed)
+    draws = bandwidth.sample_many(scale.group_size, rng)
+    return MulticastGroup.build(
+        kind,
+        draws,
+        per_link_kbps=per_link_kbps,
+        space_bits=scale.space_bits,
+        uniform_fanout=uniform_fanout,
+        seed=seed,
+    )
+
+
+def capacity_group(
+    kind: SystemKind,
+    scale: ExperimentScale,
+    capacities: CapacityDistribution,
+    uniform_fanout: int = 2,
+    seed: int = 0,
+) -> MulticastGroup:
+    """A group in the Figures 9-11 setup: capacities drawn directly."""
+    spec = GroupSpec(
+        size=scale.group_size,
+        space_bits=scale.space_bits,
+        capacities=capacities,
+        min_capacity=kind.min_capacity,
+    )
+    snapshot = generate_group(spec, seed=seed)
+    return MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+
+
+def averaged_over_sources(
+    group: MulticastGroup,
+    scale: ExperimentScale,
+    metric: Callable[[MulticastResult, RingSnapshot], float],
+    seed: int = 0,
+) -> float:
+    """Run one multicast per source and average a tree metric."""
+    rng = Random(seed)
+    values = []
+    for _ in range(scale.sources):
+        source = group.random_member(rng)
+        result = group.multicast_from(source)
+        values.append(metric(result, group.snapshot))
+    return sum(values) / len(values)
+
+
+def merged_histogram(results: Sequence[MulticastResult]) -> dict[int, int]:
+    """Sum of per-tree path-length histograms, averaged per tree."""
+    total: dict[int, int] = {}
+    for result in results:
+        for hops, count in result.path_length_histogram().items():
+            total[hops] = total.get(hops, 0) + count
+    return {
+        hops: round(count / len(results)) for hops, count in sorted(total.items())
+    }

@@ -1,0 +1,67 @@
+"""Extension E: tree balance — the paper's splitter vs El-Ansary.
+
+Section 3.4 argues that the El-Ansary broadcast is unbalanced ("the
+depths of the root's subtrees range from O(log n) to O(1) ... the
+number of children per node ranges from 1 to (M - h)") while the
+paper's splitter keeps children counts even.  This ablation runs both
+on the *same* Chord overlay (uniform fanout, same membership) and
+compares root degree, maximum node degree, depth, and path-length
+spread.
+
+Expected shape: El-Ansary's root degree ~ (k-1) log_k n vs the
+balanced splitter's k; smaller average path length for El-Ansary's
+top-heavy tree but a much larger degree spread (which is exactly what
+destroys its bottleneck throughput in Figure 6's model).
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.experiments.common import ExperimentScale, FigureResult, Series, bandwidth_group
+from repro.metrics.tree_stats import summarize_tree
+from repro.multicast.cam_chord import cam_chord_multicast
+from repro.multicast.chord_broadcast import chord_broadcast
+from repro.multicast.session import SystemKind
+from repro.overlay.chord import ChordOverlay
+
+FANOUT = 4
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the balance ablation."""
+    result = FigureResult(
+        figure="extE",
+        title=f"Tree balance on base-{FANOUT} Chord: balanced splitter vs El-Ansary",
+    )
+    group = bandwidth_group(
+        SystemKind.CHORD, scale, per_link_kbps=100, uniform_fanout=FANOUT, seed=seed
+    )
+    overlay = group.overlay
+    assert isinstance(overlay, ChordOverlay)
+    rng = Random(seed)
+    members = {n.ident for n in group.snapshot}
+
+    balanced = Series(label="balanced (ours)")
+    el_ansary = Series(label="el-ansary")
+    for index in range(scale.sources):
+        source = group.random_member(rng)
+        for series, tree in (
+            (balanced, cam_chord_multicast(overlay, source)),
+            (el_ansary, chord_broadcast(overlay, source)),
+        ):
+            tree.verify_exactly_once(members)
+            stats = summarize_tree(tree)
+            root_degree = tree.children_counts()[source.ident]
+            series.add(index, float(root_degree))
+            series.add(index + 0.2, float(stats.max_children))
+            series.add(index + 0.4, float(stats.max_path_length))
+            series.add(index + 0.6, stats.average_path_length)
+    result.series.extend([balanced, el_ansary])
+    result.notes.append(
+        "Per source: x=k root degree, k+0.2 max degree, k+0.4 tree "
+        "depth, k+0.6 mean path length.  The balanced splitter should "
+        "cap both degrees at the fanout; El-Ansary's root degree grows "
+        "with log n."
+    )
+    return result

@@ -1,0 +1,63 @@
+"""Extension C: lookup path lengths (Theorems 1, 2 and 5).
+
+Measures average lookup hops for all four overlays across group sizes,
+against the theoretical ``log n / log c`` scaling.  The paper proves
+the bounds but does not plot them; this experiment closes the gap and
+doubles as a regression harness for the routing implementations.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from repro.capacity.distributions import UniformCapacity
+from repro.experiments.common import ExperimentScale, FigureResult, Series, capacity_group
+from repro.multicast.session import SystemKind
+
+LOOKUPS_PER_POINT = 200
+SIZE_FRACTIONS = (0.1, 0.3, 1.0)
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the lookup-scaling series."""
+    result = FigureResult(
+        figure="extC",
+        title="Average lookup hops vs group size (capacities [4..10])",
+    )
+    rng = Random(seed)
+    distribution = UniformCapacity(4, 10)
+    reference = Series(label="ln(n)/ln(7) reference")
+    per_system = {
+        kind: Series(label=kind.value)
+        for kind in SystemKind
+    }
+    density = scale.group_size / (1 << scale.space_bits)
+    for fraction in SIZE_FRACTIONS:
+        size = max(64, int(scale.group_size * fraction))
+        # keep member density constant: de Bruijn hop counts track the
+        # number of *bits to inject*, so log(N) must scale with log(n)
+        bits = max(8, math.ceil(math.log2(size / density)))
+        sub_scale = ExperimentScale(
+            name=f"{scale.name}*{fraction}",
+            group_size=size,
+            sources=scale.sources,
+            protocol_size=scale.protocol_size,
+            space_bits=bits,
+        )
+        for kind, series in per_system.items():
+            group = capacity_group(kind, sub_scale, distribution, uniform_fanout=8, seed=seed)
+            hops = []
+            for _ in range(LOOKUPS_PER_POINT):
+                start = group.snapshot.random_node(rng)
+                key = rng.randrange(group.overlay.space.size)
+                hops.append(group.lookup(start, key).hops)
+            series.add(size, sum(hops) / len(hops))
+        reference.add(size, math.log(size) / math.log(7))
+    result.series.extend(per_system.values())
+    result.series.append(reference)
+    result.notes.append(
+        "All systems should grow logarithmically with n; the CAM "
+        "overlays should track the ln(n)/ln(mean capacity) reference."
+    )
+    return result

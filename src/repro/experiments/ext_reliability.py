@@ -1,0 +1,75 @@
+"""Extension F: acknowledged repair for CAM-Chord multicast.
+
+The Section 3.4 routine is fire-and-forget: under churn, the subtree
+behind a stale neighbor-table entry is silently lost (extA quantifies
+how much).  The repair extension acks every region handoff; a silent
+child is pinged, declared dead, purged, and its region re-resolved via
+a lookup once stabilization has absorbed the failure.  This experiment
+sweeps churn rates with repair off/on.
+
+Expected shape: repair recovers most of the loss the baseline suffers
+— approaching flooding's delivery ratio at a tiny fraction of its
+duplicate-traffic cost — while adding latency only on the repaired
+paths.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.churn.runner import ChurnExperiment
+from repro.churn.trace import poisson_trace
+from repro.experiments.common import ExperimentScale, FigureResult, Series
+from repro.protocol.cam_chord_peer import CamChordPeer
+from repro.protocol.config import ProtocolConfig
+
+CHURN_RATES = (0.0, 0.05, 0.15, 0.3)
+DURATION = 120.0
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the repair ablation series."""
+    result = FigureResult(
+        figure="extF",
+        title="CAM-Chord delivery ratio vs churn: baseline vs acked repair",
+    )
+    rng = Random(seed)
+    capacities = [rng.randint(4, 10) for _ in range(scale.protocol_size)]
+    variants = (
+        ("baseline", ProtocolConfig(reliable_multicast=False)),
+        ("acked-repair", ProtocolConfig(reliable_multicast=True)),
+    )
+    dup_series = {name: Series(label=f"{name} dups/msg") for name, _ in variants}
+    for name, config in variants:
+        series = Series(label=name)
+        for rate in CHURN_RATES:
+            trace = poisson_trace(
+                DURATION,
+                join_rate=rate,
+                depart_rate=rate,
+                rng=Random(seed + int(rate * 1000)),
+            )
+            experiment = ChurnExperiment(
+                CamChordPeer,
+                capacities,
+                space_bits=16,
+                seed=seed,
+                config=config,
+            )
+            report = experiment.run(
+                trace,
+                multicast_interval=10.0,
+                # repair needs timeout+stabilize+lookup rounds to finish
+                propagation_window=20.0 if config.reliable_multicast else 4.0,
+                system_name=name,
+            )
+            series.add(rate, report.mean_delivery_ratio)
+            dup_series[name].add(rate, report.mean_duplicates)
+        result.series.append(series)
+    result.series.extend(dup_series.values())
+    result.notes.append(
+        "Acked repair should close most of the baseline's churn loss "
+        "with orders of magnitude fewer duplicates than flooding "
+        "(compare extA's cam-koorde dups/msg)."
+    )
+    return result

@@ -1,0 +1,78 @@
+"""Figure 6: multicast throughput vs average number of children.
+
+Setup (Section 6.1): n members, upload bandwidths uniform in
+[400, 1000] kbps.  The CAM systems derive capacities as
+``c_x = floor(B_x / p)`` and their average fanout is swept through
+``p`` (mean capacity = E[B]/p); the capacity-oblivious baselines give
+*every* node the same fanout ``k`` regardless of bandwidth and are
+swept through ``k``.  The x-axis is the configured average fanout —
+the knob the paper sweeps; the out-degree *measured per non-leaf tree
+node* is smaller because the tree's bottom layer can never fill its
+capacity ("as long as the node is not at the bottom levels of the
+tree", Section 3.4).
+
+Throughput is the Section 6.1 bottleneck: ``min_x B_x / children(x)``
+over internal tree nodes, averaged over several random sources.
+
+Expected shape (paper): both families decay like ``const / fanout``;
+the CAM curves sit 70-80% above their baselines across the sweep
+(the constant is E[B] vs the minimum bandwidth a), because a CAM
+allocation never drops below ``p`` while a uniform fanout lets a
+400-kbps node serve as many children as a 1000-kbps one.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    ExperimentScale,
+    FigureResult,
+    Series,
+    averaged_over_sources,
+    bandwidth_group,
+)
+from repro.metrics.throughput import sustainable_throughput
+from repro.multicast.session import SystemKind
+
+#: per-link rates swept for the CAM systems (kbps); mean capacity = 700/p
+CAM_PER_LINK_SWEEP = (10.0, 15.0, 25.0, 40.0, 70.0, 100.0, 140.0)
+
+#: uniform fanouts swept for the baselines
+BASELINE_FANOUT_SWEEP = (4, 8, 16, 32, 64)
+
+MEAN_BANDWIDTH = 700.0
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 6 series (x = average fanout, y = kbps)."""
+    result = FigureResult(
+        figure="fig6",
+        title="Throughput (kbps) vs average number of children",
+    )
+    for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE):
+        series = Series(label=kind.value)
+        for per_link in CAM_PER_LINK_SWEEP:
+            group = bandwidth_group(kind, scale, per_link_kbps=per_link, seed=seed)
+            throughput = averaged_over_sources(
+                group, scale, lambda r, s: sustainable_throughput(r, s)
+            )
+            series.add(MEAN_BANDWIDTH / per_link, throughput)
+        series.points.sort()
+        result.series.append(series)
+    for kind in (SystemKind.CHORD, SystemKind.KOORDE):
+        series = Series(label=kind.value)
+        for fanout in BASELINE_FANOUT_SWEEP:
+            group = bandwidth_group(
+                kind, scale, per_link_kbps=100.0, uniform_fanout=fanout, seed=seed
+            )
+            throughput = averaged_over_sources(
+                group, scale, lambda r, s: sustainable_throughput(r, s)
+            )
+            series.add(float(fanout), throughput)
+        series.points.sort()
+        result.series.append(series)
+    result.notes.append(
+        "CAM capacity-aware curves should dominate the uniform-fanout "
+        "baselines at comparable fanout (paper: +70-80%, the bandwidth-"
+        "heterogeneity ratio E[B]/min(B) = 1.75)."
+    )
+    return result

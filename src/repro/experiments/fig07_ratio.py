@@ -1,0 +1,73 @@
+"""Figure 7: throughput improvement ratio vs upload-bandwidth range.
+
+Setup: the bandwidth lower bound is pinned at a = 400 kbps and the
+upper bound b sweeps 800..1600 kbps.  For each range the CAM system
+(p = 100 kbps) is compared against its baseline run at the *matched*
+uniform fanout — the rounded mean CAM capacity — so both trees have
+comparable average children and only capacity-awareness differs.
+
+Expected shape (paper): the ratio grows with the range width and is
+"roughly proportional to (a + b) / 2a" — the degree of bandwidth
+heterogeneity.
+"""
+
+from __future__ import annotations
+
+from repro.capacity.distributions import UniformBandwidth
+from repro.experiments.common import (
+    ExperimentScale,
+    FigureResult,
+    Series,
+    averaged_over_sources,
+    bandwidth_group,
+)
+from repro.metrics.throughput import sustainable_throughput
+from repro.multicast.session import SystemKind
+
+UPPER_BOUNDS = (800.0, 1000.0, 1200.0, 1400.0, 1600.0)
+LOWER_BOUND = 400.0
+PER_LINK = 100.0
+
+PAIRS = (
+    (SystemKind.CAM_CHORD, SystemKind.CHORD, "cam-chord over chord"),
+    (SystemKind.CAM_KOORDE, SystemKind.KOORDE, "cam-koorde over koorde"),
+)
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 7 series."""
+    result = FigureResult(
+        figure="fig7",
+        title="Throughput improvement ratio vs upload bandwidth upper bound",
+    )
+    heterogeneity = Series(label="(a+b)/2a reference")
+    ratio_series = {label: Series(label=label) for _, _, label in PAIRS}
+    for upper in UPPER_BOUNDS:
+        bandwidth = UniformBandwidth(LOWER_BOUND, upper)
+        matched_fanout = max(2, round(bandwidth.mean() / PER_LINK))
+        for cam_kind, base_kind, label in PAIRS:
+            cam_group = bandwidth_group(
+                cam_kind, scale, per_link_kbps=PER_LINK, bandwidth=bandwidth, seed=seed
+            )
+            base_group = bandwidth_group(
+                base_kind,
+                scale,
+                per_link_kbps=PER_LINK,
+                bandwidth=bandwidth,
+                uniform_fanout=matched_fanout,
+                seed=seed,
+            )
+            cam_throughput = averaged_over_sources(
+                cam_group, scale, lambda r, s: sustainable_throughput(r, s)
+            )
+            base_throughput = averaged_over_sources(
+                base_group, scale, lambda r, s: sustainable_throughput(r, s)
+            )
+            ratio_series[label].add(upper, cam_throughput / base_throughput)
+        heterogeneity.add(upper, bandwidth.heterogeneity())
+    result.series.extend(ratio_series.values())
+    result.series.append(heterogeneity)
+    result.notes.append(
+        "Ratios should increase with the upper bound, tracking (a+b)/2a."
+    )
+    return result

@@ -1,0 +1,69 @@
+"""Figure 9: multicast path-length distribution in CAM-Chord.
+
+One curve per capacity range {4, [4..6], [4..8], [4..10], [4..20],
+[4..40], [4..60], [4..100], [4..200]}: how many members are reached in
+exactly h hops.  Expected shape (paper): single-peaked curves that
+shift left as capacities grow, with rapidly diminishing returns beyond
+[4..10] and no heavy right tail.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from repro.capacity.distributions import (
+    CapacityDistribution,
+    FixedCapacity,
+    UniformCapacity,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    FigureResult,
+    Series,
+    capacity_group,
+    merged_histogram,
+)
+from repro.multicast.session import SystemKind
+
+CAPACITY_RANGES: tuple[CapacityDistribution, ...] = (
+    FixedCapacity(4),
+    UniformCapacity(4, 6),
+    UniformCapacity(4, 8),
+    UniformCapacity(4, 10),
+    UniformCapacity(4, 20),
+    UniformCapacity(4, 40),
+    UniformCapacity(4, 60),
+    UniformCapacity(4, 100),
+    UniformCapacity(4, 200),
+)
+
+
+def run(
+    scale: ExperimentScale,
+    seed: int = 0,
+    kind: SystemKind = SystemKind.CAM_CHORD,
+    capacity_ranges: tuple[CapacityDistribution, ...] = CAPACITY_RANGES,
+    figure: str = "fig9",
+) -> FigureResult:
+    """Regenerate the Figure 9 curves (also reused by Figure 10)."""
+    result = FigureResult(
+        figure=figure,
+        title=f"Path length distribution in {kind.value}",
+    )
+    rng = Random(seed)
+    for distribution in capacity_ranges:
+        group = capacity_group(kind, scale, distribution, seed=seed)
+        trees = [
+            group.multicast_from(group.random_member(rng))
+            for _ in range(scale.sources)
+        ]
+        histogram = merged_histogram(trees)
+        series = Series(label=str(distribution))
+        for hops, count in histogram.items():
+            series.add(float(hops), float(count))
+        result.series.append(series)
+    result.notes.append(
+        "Curves are single-peaked and shift left as the capacity range "
+        "widens; improvement saturates beyond [4..10]."
+    )
+    return result

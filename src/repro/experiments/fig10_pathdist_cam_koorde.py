@@ -1,0 +1,44 @@
+"""Figure 10: multicast path-length distribution in CAM-Koorde.
+
+Same setup as Figure 9 but flooding over CAM-Koorde; the paper's
+legend omits [4..60] for this figure, so the sweep does too.
+"""
+
+from __future__ import annotations
+
+from repro.capacity.distributions import (
+    CapacityDistribution,
+    FixedCapacity,
+    UniformCapacity,
+)
+from repro.experiments.common import ExperimentScale, FigureResult
+from repro.experiments.fig09_pathdist_cam_chord import run as run_fig9
+from repro.multicast.session import SystemKind
+
+CAPACITY_RANGES: tuple[CapacityDistribution, ...] = (
+    FixedCapacity(4),
+    UniformCapacity(4, 6),
+    UniformCapacity(4, 8),
+    UniformCapacity(4, 10),
+    UniformCapacity(4, 20),
+    UniformCapacity(4, 40),
+    UniformCapacity(4, 100),
+    UniformCapacity(4, 200),
+)
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 10 curves."""
+    result = run_fig9(
+        scale,
+        seed=seed,
+        kind=SystemKind.CAM_KOORDE,
+        capacity_ranges=CAPACITY_RANGES,
+        figure="fig10",
+    )
+    result.notes.append(
+        "Compared with Figure 9, CAM-Koorde's peaks sit further right "
+        "for small capacities (flooding wastes some fanout on already-"
+        "served neighbors) and catch up as capacities grow."
+    )
+    return result

@@ -1,0 +1,76 @@
+"""Figure 11: average path length vs average node capacity.
+
+Sweeps the capacity ranges of Figures 9/10 (x = mean capacity) and
+plots, alongside both systems, the artificial bound
+``1.5 * ln(n) / ln(c)`` that the paper uses to verify Theorems 4 and 6.
+
+Expected shape (paper): both curves fall with capacity and stay below
+the bound; CAM-Chord is shorter for mean capacity below ~10,
+CAM-Koorde shorter above ~12.
+"""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+from repro.capacity.distributions import (
+    CapacityDistribution,
+    FixedCapacity,
+    UniformCapacity,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    FigureResult,
+    Series,
+    capacity_group,
+)
+from repro.multicast.session import SystemKind
+
+CAPACITY_RANGES: tuple[CapacityDistribution, ...] = (
+    FixedCapacity(4),
+    UniformCapacity(4, 8),
+    UniformCapacity(4, 10),
+    UniformCapacity(4, 20),
+    UniformCapacity(4, 40),
+    UniformCapacity(4, 60),
+    UniformCapacity(4, 100),
+    UniformCapacity(4, 200),
+)
+
+
+def theoretical_bound(mean_capacity: float, group_size: int) -> float:
+    """The paper's reference curve ``1.5 ln(n) / ln(c)``."""
+    return 1.5 * math.log(group_size) / math.log(mean_capacity)
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 11 series."""
+    result = FigureResult(
+        figure="fig11",
+        title="Average path length vs average node capacity",
+    )
+    bound = Series(label="1.5*ln(n)/ln(c)")
+    per_system = {
+        kind: Series(label=kind.value)
+        for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
+    }
+    rng = Random(seed)
+    for distribution in CAPACITY_RANGES:
+        mean_capacity = distribution.mean()
+        for kind, series in per_system.items():
+            group = capacity_group(kind, scale, distribution, seed=seed)
+            lengths = [
+                group.multicast_from(group.random_member(rng)).average_path_length()
+                for _ in range(scale.sources)
+            ]
+            series.add(mean_capacity, sum(lengths) / len(lengths))
+        bound.add(mean_capacity, theoretical_bound(mean_capacity, scale.group_size))
+    result.series.extend(per_system.values())
+    result.series.append(bound)
+    result.notes.append(
+        "Both systems should sit below the 1.5*ln(n)/ln(c) bound; "
+        "CAM-Chord wins at small capacities, CAM-Koorde at large ones "
+        "(paper crossover between mean capacity 10 and 12)."
+    )
+    return result

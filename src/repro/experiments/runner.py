@@ -1,0 +1,119 @@
+"""Command-line entry point: regenerate any or all figures.
+
+Usage::
+
+    python -m repro.experiments [--scale quick|default|paper] [--seed N] \
+        [fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC extD extE | all]
+
+Each figure prints its series as aligned (x, y) tables — the rows the
+paper plots — plus shape notes.  ``--out DIR`` additionally writes one
+``<figure>.txt`` per result.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    fig06_throughput,
+    fig07_ratio,
+    fig08_tradeoff,
+    fig09_pathdist_cam_chord,
+    fig10_pathdist_cam_koorde,
+    fig11_avg_path_length,
+    ext_balance,
+    ext_churn,
+    ext_load,
+    ext_lookup,
+    ext_proximity,
+    ext_geography,
+    ext_reliability,
+    ext_sessions,
+    ext_timed,
+)
+from repro.experiments.common import ExperimentScale, FigureResult, resolve_scale
+
+EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], FigureResult]] = {
+    "fig6": fig06_throughput.run,
+    "fig7": fig07_ratio.run,
+    "fig8": fig08_tradeoff.run,
+    "fig9": fig09_pathdist_cam_chord.run,
+    "fig10": fig10_pathdist_cam_koorde.run,
+    "fig11": fig11_avg_path_length.run,
+    "extA": ext_churn.run,
+    "extB": ext_load.run,
+    "extC": ext_lookup.run,
+    "extD": ext_proximity.run,
+    "extE": ext_balance.run,
+    "extF": ext_reliability.run,
+    "extG": ext_geography.run,
+    "extH": ext_timed.run,
+    "extI": ext_sessions.run,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the figures of the CAM-Chord/CAM-Koorde paper.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        default=["all"],
+        help=f"which experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+    )
+    parser.add_argument("--scale", default=None, help="quick | default | paper")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=None, help="directory for .txt dumps")
+    parser.add_argument(
+        "--plot", action="store_true", help="also draw ASCII charts of each figure"
+    )
+    parser.add_argument(
+        "--replicate",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run each experiment over N seeds and report mean ± sd",
+    )
+    args = parser.parse_args(argv)
+    if args.replicate < 1:
+        parser.error("--replicate must be >= 1")
+
+    names = list(EXPERIMENTS) if "all" in args.figures else args.figures
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; choose from {list(EXPERIMENTS)}")
+
+    scale = resolve_scale(args.scale)
+    print(f"# scale={scale.name} n={scale.group_size} sources={scale.sources}")
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        started = time.time()
+        if args.replicate > 1:
+            from repro.experiments.replication import replicate
+
+            seeds = [args.seed + offset for offset in range(args.replicate)]
+            rendered = replicate(EXPERIMENTS[name], scale, seeds).render()
+        else:
+            result = EXPERIMENTS[name](scale, args.seed)
+            rendered = result.render()
+            if args.plot:
+                from repro.viz.ascii_chart import render_figure
+
+                rendered += "\n" + render_figure(result)
+        print(rendered)
+        print(f"# {name} done in {time.time() - started:.1f}s\n")
+        if args.out is not None:
+            (args.out / f"{name}.txt").write_text(rendered + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Modular arithmetic on the circular identifier space.
+
+All functions treat identifiers as points on a clockwise ring of size
+``modulus``.  A *segment* ``(x, y]`` starts at ``x + 1``, moves
+clockwise and ends at ``y``; its size is ``(y - x) mod modulus``.  An
+empty segment has ``x == y`` and size zero.  These definitions follow
+Section 2 of the paper verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def segment_size(x: int, y: int, modulus: int) -> int:
+    """Return the number of identifiers in the segment ``(x, y]``.
+
+    ``segment_size(x, x, m) == 0``: the segment from a point to itself
+    is empty (this is the termination condition of the CAM-Chord
+    multicast recursion).
+    """
+    return (y - x) % modulus
+
+
+def segment_contains(z: int, x: int, y: int, modulus: int) -> bool:
+    """Return True when identifier ``z`` lies in the segment ``(x, y]``."""
+    offset = (z - x) % modulus
+    return 0 < offset <= (y - x) % modulus
+
+
+def ring_distance(x: int, y: int, modulus: int) -> int:
+    """Return ``|x - y|``: the shorter way around the ring."""
+    clockwise = (y - x) % modulus
+    return min(clockwise, modulus - clockwise)
+
+
+@dataclass(frozen=True)
+class IdentifierSpace:
+    """A circular identifier space ``[0, 2**bits - 1]``.
+
+    Provides the ring arithmetic of Section 2 plus the bit-shuffling
+    helpers needed by the de Bruijn (Koorde / CAM-Koorde) overlays.
+    """
+
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError(f"identifier space needs >= 1 bit, got {self.bits}")
+
+    @property
+    def size(self) -> int:
+        """``N = 2**bits``, the number of identifiers."""
+        return 1 << self.bits
+
+    def normalize(self, x: int) -> int:
+        """Map an arbitrary integer onto the ring."""
+        return x % self.size
+
+    def contains(self, x: int) -> bool:
+        """Return True when ``x`` is a canonical identifier."""
+        return 0 <= x < self.size
+
+    def segment_size(self, x: int, y: int) -> int:
+        """Size of the clockwise segment ``(x, y]``."""
+        return segment_size(x, y, self.size)
+
+    def in_segment(self, z: int, x: int, y: int) -> bool:
+        """True when ``z`` lies in the clockwise segment ``(x, y]``."""
+        return segment_contains(z, x, y, self.size)
+
+    def distance(self, x: int, y: int) -> int:
+        """Shorter-way-around ring distance ``|x - y|``."""
+        return ring_distance(x, y, self.size)
+
+    def add(self, x: int, delta: int) -> int:
+        """Clockwise displacement: ``(x + delta) mod N``."""
+        return (x + delta) % self.size
+
+    def sub(self, x: int, delta: int) -> int:
+        """Counter-clockwise displacement: ``(x - delta) mod N``."""
+        return (x - delta) % self.size
+
+    # -- bit helpers used by the de Bruijn overlays -------------------
+
+    def shift_right(self, x: int, count: int) -> int:
+        """Drop the ``count`` low-order bits of ``x`` (CAM-Koorde shift)."""
+        if count < 0:
+            raise ValueError(f"shift count must be >= 0, got {count}")
+        return x >> count
+
+    def shift_left_in(self, x: int, digit: int, base_bits: int) -> int:
+        """Koorde-style left shift: push ``digit`` into the low bits.
+
+        ``x`` is shifted ``base_bits`` to the left (dropping the bits
+        that overflow the identifier width) and ``digit`` becomes the
+        new low-order chunk.
+        """
+        if not 0 <= digit < (1 << base_bits):
+            raise ValueError(f"digit {digit} does not fit in {base_bits} bits")
+        return ((x << base_bits) | digit) % self.size
+
+    def top_bits(self, x: int, count: int) -> int:
+        """Return the ``count`` high-order bits of ``x``."""
+        if not 0 <= count <= self.bits:
+            raise ValueError(f"count must be in [0, {self.bits}], got {count}")
+        return x >> (self.bits - count) if count else 0
+
+    def low_bits(self, x: int, count: int) -> int:
+        """Return the ``count`` low-order bits of ``x``."""
+        if not 0 <= count <= self.bits:
+            raise ValueError(f"count must be in [0, {self.bits}], got {count}")
+        return x & ((1 << count) - 1) if count else 0
+
+    def ps_common_bits(self, x: int, k: int) -> int:
+        """Number of *ps-common* bits shared by ``x`` and ``k``.
+
+        Definition 1 of the paper: the largest ``l`` such that the
+        ``l``-bit *prefix* of ``x`` equals the ``l``-bit *suffix* of
+        ``k``.  ``x == k`` iff they share ``bits`` ps-common bits.
+        """
+        for length in range(self.bits, 0, -1):
+            if self.top_bits(x, length) == self.low_bits(k, length):
+                return length
+        return 0
+
+    def format_id(self, x: int) -> str:
+        """Binary rendering used in the paper's figures, e.g. ``100100``."""
+        return format(x, f"0{self.bits}b")

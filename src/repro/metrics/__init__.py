@@ -1,0 +1,27 @@
+"""Measurement of the paper's performance metrics.
+
+"Throughput and latency are the two major performance metrics for a
+multicast application" (Section 6).  Latency is measured structurally
+as multicast path length (overlay hops from the source); throughput via
+the bottleneck-link model of Section 6.1; Section 5.1's forwarding-load
+argument gets its own module.
+"""
+
+from repro.metrics.tree_stats import TreeStats, summarize_tree
+from repro.metrics.throughput import (
+    allocated_link_bandwidths,
+    average_children_per_internal_node,
+    sustainable_throughput,
+)
+from repro.metrics.load import ForwardingLoad, flooding_load, single_tree_load
+
+__all__ = [
+    "TreeStats",
+    "summarize_tree",
+    "allocated_link_bandwidths",
+    "average_children_per_internal_node",
+    "sustainable_throughput",
+    "ForwardingLoad",
+    "flooding_load",
+    "single_tree_load",
+]

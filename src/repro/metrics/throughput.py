@@ -1,0 +1,56 @@
+"""The bottleneck throughput model of Section 6.1.
+
+"Due to limited buffer space at each node, the sustainable multicast
+throughput is decided by the link with the least allocated bandwidth in
+the multicast tree."  A node with upload bandwidth ``B_x`` and ``d_x``
+children in the tree allocates ``B_x / d_x`` to each child link, so
+
+    throughput = min over internal nodes x of  B_x / d_x.
+
+For the CAM systems ``d_x <= c_x = floor(B_x / p)`` guarantees every
+allocation is at least ``p``: throughput never drops below the
+configured per-link rate no matter how the tree turned out.  For the
+capacity-oblivious baselines a low-bandwidth node can end up with a
+large fanout and throttle the entire session — the effect Figure 6
+quantifies.
+"""
+
+from __future__ import annotations
+
+from repro.multicast.delivery import MulticastResult
+from repro.overlay.base import RingSnapshot
+
+
+def allocated_link_bandwidths(
+    result: MulticastResult, snapshot: RingSnapshot
+) -> dict[int, float]:
+    """Per-internal-node allocated bandwidth ``B_x / d_x`` in kbps."""
+    allocations: dict[int, float] = {}
+    for ident, count in result.children_counts().items():
+        if count == 0:
+            continue
+        node = snapshot.node_at(ident)
+        if node.bandwidth_kbps <= 0:
+            raise ValueError(
+                f"node {ident} has no bandwidth assigned; build the snapshot "
+                "with per-node bandwidths to use the throughput model"
+            )
+        allocations[ident] = node.bandwidth_kbps / count
+    return allocations
+
+
+def sustainable_throughput(result: MulticastResult, snapshot: RingSnapshot) -> float:
+    """The session's sustainable data rate in kbps (single-node groups
+    have nothing to forward, reported as the source's full bandwidth)."""
+    allocations = allocated_link_bandwidths(result, snapshot)
+    if not allocations:
+        return snapshot.node_at(result.source_ident).bandwidth_kbps
+    return min(allocations.values())
+
+
+def average_children_per_internal_node(result: MulticastResult) -> float:
+    """The Figure 6 x-axis: mean out-degree over non-leaf tree nodes."""
+    counts = [c for c in result.children_counts().values() if c > 0]
+    if not counts:
+        return 0.0
+    return sum(counts) / len(counts)

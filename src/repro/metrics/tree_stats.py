@@ -1,0 +1,52 @@
+"""Structural statistics of one implicit multicast tree."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.multicast.delivery import MulticastResult
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary of one implicit multicast tree.
+
+    ``average_path_length`` / ``max_path_length`` are the paper's
+    latency metrics (overlay hops from the source).  ``histogram`` is
+    the Figure 9/10 statistic: how many nodes were reached in exactly
+    ``h`` hops.  ``average_children`` is taken over internal (non-leaf)
+    nodes, matching the Figure 6 x-axis.
+    """
+
+    receivers: int
+    average_path_length: float
+    max_path_length: int
+    histogram: dict[int, int]
+    internal_count: int
+    leaf_count: int
+    average_children: float
+    max_children: int
+
+    def coverage_complete(self, member_count: int) -> bool:
+        """True when every member received the message."""
+        return self.receivers == member_count
+
+
+def summarize_tree(result: MulticastResult) -> TreeStats:
+    """Compute :class:`TreeStats` from a delivery record."""
+    children = result.children_counts()
+    internal = [count for count in children.values() if count > 0]
+    leaves = len(children) - len(internal)
+    histogram = Counter(result.depth.values())
+    total_children = sum(internal)
+    return TreeStats(
+        receivers=result.receiver_count,
+        average_path_length=result.average_path_length(),
+        max_path_length=result.max_path_length(),
+        histogram=dict(sorted(histogram.items())),
+        internal_count=len(internal),
+        leaf_count=leaves,
+        average_children=total_children / len(internal) if internal else 0.0,
+        max_children=max(internal) if internal else 0,
+    )

@@ -1,0 +1,40 @@
+"""Multicast dissemination routines over the overlays.
+
+Four routines, matching the four systems of the paper's evaluation:
+
+* :func:`cam_chord_multicast` — Section 3.4: recursive region
+  splitting along the capacity-aware neighbor table (implicit balanced
+  degree-varying tree, at most ``c_x`` children per node);
+* :func:`cam_koorde_multicast` — Section 4.3: flooding with duplicate
+  suppression over CAM-Koorde's evenly-spread neighbors;
+* :func:`chord_broadcast` — the El-Ansary et al. broadcast on plain
+  Chord (capacity-oblivious baseline);
+* :func:`koorde_flood` — flooding over plain Koorde's clustered de
+  Bruijn links (capacity-oblivious baseline).
+
+Every routine returns a :class:`MulticastResult` recording the implicit
+tree that the collective execution traced out.
+"""
+
+from repro.multicast.delivery import MulticastResult
+from repro.multicast.cam_chord import cam_chord_multicast
+from repro.multicast.cam_koorde import cam_koorde_multicast, flood_multicast
+from repro.multicast.chord_broadcast import chord_broadcast
+from repro.multicast.koorde_flood import koorde_flood
+from repro.multicast.session import MulticastGroup, SystemKind
+from repro.multicast.service import MulticastService
+from repro.multicast.tree_building import SharedTree, build_shared_tree
+
+__all__ = [
+    "MulticastService",
+    "SharedTree",
+    "build_shared_tree",
+    "MulticastResult",
+    "cam_chord_multicast",
+    "cam_koorde_multicast",
+    "flood_multicast",
+    "chord_broadcast",
+    "koorde_flood",
+    "MulticastGroup",
+    "SystemKind",
+]

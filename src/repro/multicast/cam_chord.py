@@ -1,0 +1,154 @@
+"""The CAM-Chord MULTICAST routine (Section 3.4).
+
+``x.MULTICAST(msg, k)`` delivers ``msg`` to every member in the
+clockwise segment ``(x, k]``: ``x`` picks up to ``c_x`` neighbors that
+split ``(x, k]`` into subregions as even as possible and hands each
+chosen neighbor the subregion it is responsible for.  The collective
+recursive execution traces an implicit, roughly balanced,
+degree-varying multicast tree in which no node exceeds its capacity.
+
+Two engineering notes beyond the paper's pseudo code:
+
+* On a sparse ring several neighbor *identifiers* can resolve to the
+  same physical node, or resolve past the end of the remaining region.
+  Each child send is therefore guarded by "resolved node lies in
+  ``(x, k']``".  The guard fails exactly when the identifier span
+  ``[x_{i,m}, k']`` contains no member, so skipping it loses nobody —
+  and it is what makes the exactly-once delivery invariant hold
+  unconditionally (property-tested in
+  ``tests/test_multicast_invariants.py``).
+* The paper's pseudo code floors the running position ``l`` when
+  spreading spare capacity over level-``(i-1)`` neighbors, but its own
+  worked example (x with capacity 3 forwarding to ``x_{2,2}``,
+  Figure 3) requires the ceiling: floor would pick ``x_{2,1}``.  We
+  follow the worked example.
+
+The child-selection core is a pure function over a *resolver* so that
+the structural simulation (global membership snapshot) and the live
+protocol peers (local, possibly stale neighbor tables) execute the
+identical algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable
+
+from repro.idspace.ring import segment_contains, segment_size
+from repro.multicast.delivery import MulticastResult
+from repro.overlay.base import Node
+from repro.overlay.cam_chord import level_and_sequence
+
+#: Maps a neighbor identifier (with its level and sequence number) to
+#: the identifier of the node believed responsible for it, or None when
+#: the caller has no usable link for that slot.
+NeighborResolver = Callable[[int, int, int], "int | None"]
+
+
+def select_child_regions(
+    ident: int,
+    capacity: int,
+    bits: int,
+    limit: int,
+    resolver: NeighborResolver,
+) -> list[tuple[int, int]]:
+    """One execution of the MULTICAST child selection (lines 4-15).
+
+    Returns ``(child_ident, subregion_limit)`` pairs: each child becomes
+    responsible for ``(child_ident, subregion_limit]``.  The subregions
+    are pairwise disjoint and, together with the children themselves,
+    exactly cover the members of ``(ident, limit]`` — provided the
+    resolver answers with the true responsible nodes.  With stale
+    resolver answers (live protocol under churn) the same code runs,
+    and any coverage gap becomes a measured delivery loss.
+    """
+    size = 1 << bits
+    distance = segment_size(ident, limit, size)
+    if distance == 0:
+        return []
+    level, sequence = level_and_sequence(distance, capacity)
+
+    selected: list[tuple[int, int]] = []
+    remaining_limit = limit
+
+    def consider(lvl: int, seq: int) -> None:
+        """Guarded child send: assign (child, remaining_limit] and shrink
+        the remaining region to (ident, neighbor_identifier - 1].
+
+        The region shrinks only when a child was actually selected.  On
+        a global snapshot the distinction is invisible — a skipped
+        span provably holds no member, so whether it is cut off or
+        rolled into the next child's region, the resulting tree is the
+        same.  A live peer's resolver, however, answers ``None`` for a
+        slot it has *no link* for, and members may well live in that
+        span: leaving the limit untouched hands the span to the next
+        selected child instead of silently dropping it.
+        """
+        nonlocal remaining_limit
+        neighbor_ident = (ident + seq * capacity**lvl) % size
+        child = resolver(lvl, seq, neighbor_ident)
+        if child is not None and segment_contains(child, ident, remaining_limit, size):
+            selected.append((child, remaining_limit))
+            remaining_limit = (neighbor_ident - 1) % size
+
+    # Lines 6-9: level-i neighbors preceding k, highest sequence first.
+    for seq in range(sequence, 0, -1):
+        consider(level, seq)
+
+    # Lines 10-14: spread the spare capacity over level-(i-1) neighbors,
+    # as evenly separated as possible (ceiling; see module docstring).
+    if level >= 1:
+        position = float(capacity)
+        step = capacity / (capacity - sequence)
+        for _ in range(capacity - sequence - 1):
+            position -= step
+            consider(level - 1, math.ceil(position))
+
+    # Line 15: the successor x_{0,1} picks up whatever remains.
+    consider(0, 1)
+    return selected
+
+
+def select_children(overlay, node: Node, limit: int) -> list[tuple[Node, int]]:
+    """Child selection against the global membership snapshot.
+
+    ``overlay`` is a :class:`CamChordOverlay` or a plain
+    :class:`~repro.overlay.chord.ChordOverlay`: the arithmetic is
+    identical with ``capacity`` replaced by the uniform finger base, so
+    the same routine doubles as the *capacity-oblivious* balanced
+    multicast the paper's Figure 6 evaluates under the name "Chord".
+    """
+    snapshot = overlay.snapshot
+
+    def resolver(level: int, sequence: int, identifier: int) -> int:
+        return snapshot.resolve(identifier).ident
+
+    regions = select_child_regions(
+        node.ident, overlay.fanout(node), overlay.space.bits, limit, resolver
+    )
+    return [(snapshot.node_at(child), sublimit) for child, sublimit in regions]
+
+
+def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
+    """Run a full multicast from ``source`` and return the implicit tree.
+
+    Accepts a :class:`CamChordOverlay` (capacity-aware) or a plain
+    :class:`~repro.overlay.chord.ChordOverlay` (uniform fanout — the
+    Figure 6 "Chord" baseline).
+
+    Equivalent to the paper's ``x.MULTICAST(msg, x - 1)``: the initial
+    region is the whole ring except the source.  Implemented with an
+    explicit work queue (breadth-first) rather than recursion; the
+    forwarding decisions are identical, and breadth-first order mirrors
+    how the distributed execution unfolds hop by hop.
+    """
+    result = MulticastResult(source_ident=source.ident)
+    initial_limit = overlay.space.sub(source.ident, 1)
+    queue: deque[tuple[Node, int]] = deque([(source, initial_limit)])
+    while queue:
+        node, limit = queue.popleft()
+        for child, sublimit in select_children(overlay, node, limit):
+            result.record_delivery(child.ident, node.ident)
+            queue.append((child, sublimit))
+    return result

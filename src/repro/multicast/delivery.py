@@ -1,0 +1,132 @@
+"""Delivery accounting: the implicit multicast tree of one message.
+
+"No explicit tree is built" (Section 3.4) — the tree exists only as
+the union of forwarding decisions.  :class:`MulticastResult` records
+those decisions so the metrics layer can measure what the paper plots:
+path lengths (= tree depths), children counts, and the bottleneck
+bandwidth that determines sustainable throughput.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+class DuplicateDeliveryError(AssertionError):
+    """A node received the same multicast message twice.
+
+    For CAM-Chord this is an algorithm-invariant violation (the region
+    splitting is supposed to partition ``(x, k]``); the recorder raises
+    rather than silently double-counting.
+    """
+
+
+@dataclass
+class MulticastResult:
+    """The implicit tree traced by one multicast from ``source_ident``.
+
+    ``parent`` maps every receiver to the node it got the message from
+    (the source maps to ``None``); ``depth`` is the overlay hop count
+    from the source, i.e. the paper's *multicast path length*.
+    ``messages_sent`` counts data transmissions (equals the number of
+    receivers for duplicate-free dissemination).
+    """
+
+    source_ident: int
+    parent: dict[int, int | None] = field(default_factory=dict)
+    depth: dict[int, int] = field(default_factory=dict)
+    messages_sent: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.parent:
+            self.parent[self.source_ident] = None
+            self.depth[self.source_ident] = 0
+
+    # -- recording ----------------------------------------------------
+
+    def record_delivery(self, child_ident: int, parent_ident: int) -> None:
+        """Record that ``parent_ident`` forwarded the message to
+        ``child_ident`` (one overlay hop)."""
+        if child_ident in self.parent:
+            raise DuplicateDeliveryError(
+                f"node {child_ident} received the message twice "
+                f"(parents {self.parent[child_ident]} and {parent_ident})"
+            )
+        if parent_ident not in self.parent:
+            raise ValueError(
+                f"parent {parent_ident} forwarded before receiving the message"
+            )
+        self.parent[child_ident] = parent_ident
+        self.depth[child_ident] = self.depth[parent_ident] + 1
+        self.messages_sent += 1
+
+    def was_delivered(self, ident: int) -> bool:
+        """True when the node already received (or is receiving) the
+        message — the CAM-Koorde Section 4.3 forwarding check."""
+        return ident in self.parent
+
+    # -- tree structure -----------------------------------------------
+
+    @property
+    def receiver_count(self) -> int:
+        """Number of nodes that received the message, source included."""
+        return len(self.parent)
+
+    def children_counts(self) -> Counter[int]:
+        """Out-degree of every node in the implicit tree (zero-degree
+        leaves are included with count 0)."""
+        counts: Counter[int] = Counter({ident: 0 for ident in self.parent})
+        for child, parent in self.parent.items():
+            if parent is not None:
+                counts[parent] += 1
+        return counts
+
+    def internal_nodes(self) -> list[int]:
+        """Identifiers of nodes with at least one child."""
+        return [ident for ident, count in self.children_counts().items() if count > 0]
+
+    def path_length_histogram(self) -> Counter[int]:
+        """The Figure 9/10 statistic: #nodes reached at each hop count."""
+        return Counter(self.depth.values())
+
+    def average_path_length(self) -> float:
+        """Mean hops from the source over all receivers except itself."""
+        others = [hops for ident, hops in self.depth.items() if ident != self.source_ident]
+        if not others:
+            return 0.0
+        return sum(others) / len(others)
+
+    def max_path_length(self) -> int:
+        """Tree depth: the longest source-to-member path."""
+        return max(self.depth.values())
+
+    def path_to_source(self, ident: int) -> list[int]:
+        """The delivery path from ``ident`` back to the source."""
+        if ident not in self.parent:
+            raise KeyError(f"node {ident} never received the message")
+        path = [ident]
+        current: int | None = ident
+        while True:
+            current = self.parent[current]
+            if current is None:
+                return path
+            path.append(current)
+
+    def verify_exactly_once(self, member_idents: set[int]) -> None:
+        """Assert the headline invariant: every member received the
+        message exactly once (Section 3.4: "every member node will
+        receive one and only one copy")."""
+        received = set(self.parent)
+        missing = member_idents - received
+        extra = received - member_idents
+        if missing:
+            sample = sorted(missing)[:5]
+            raise AssertionError(
+                f"{len(missing)} members never received the message, e.g. {sample}"
+            )
+        if extra:
+            sample = sorted(extra)[:5]
+            raise AssertionError(
+                f"{len(extra)} non-members received the message, e.g. {sample}"
+            )

@@ -1,0 +1,152 @@
+"""Multi-group multicast service over one host population.
+
+"A dedicated CAM-Chord or CAM-Koorde overlay network is established
+for each multicast group" (Section 2).  A real deployment therefore
+runs one overlay *per group* over a shared set of hosts; a host that
+belongs to three groups sits on three rings (under three different
+SHA-1 identifiers) and its upload bandwidth serves all of them.
+
+:class:`MulticastService` manages that: hosts register once with their
+upload bandwidth; groups are created and torn down with their own
+system kind and per-link rate; membership is by host name, mapped onto
+each group's ring with the Section 2 SHA-1 assignment.  The service
+aggregates forwarding load per *host* across groups — the quantity a
+deployment actually provisions for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.capacity.model import CapacityModel
+from repro.idspace.hashing import assign_identifiers
+from repro.idspace.ring import IdentifierSpace
+from repro.multicast.delivery import MulticastResult
+from repro.multicast.session import MulticastGroup, SystemKind
+from repro.overlay.base import Node, RingSnapshot
+
+
+class MulticastService:
+    """Per-group overlays over a shared host population."""
+
+    def __init__(self, space_bits: int = 19) -> None:
+        self._space = IdentifierSpace(space_bits)
+        self._hosts: dict[str, float] = {}
+        self._groups: dict[str, MulticastGroup] = {}
+        self._members: dict[str, dict[str, int]] = {}
+        self._forwarded_kbits: dict[str, float] = {}
+
+    # -- host management -----------------------------------------------------
+
+    def register_host(self, name: str, bandwidth_kbps: float) -> None:
+        """Add a host to the population."""
+        if name in self._hosts:
+            raise ValueError(f"host {name!r} already registered")
+        if bandwidth_kbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_kbps}")
+        self._hosts[name] = bandwidth_kbps
+        self._forwarded_kbits[name] = 0.0
+
+    @property
+    def hosts(self) -> Mapping[str, float]:
+        """Registered hosts and their upload bandwidths."""
+        return dict(self._hosts)
+
+    # -- group management ------------------------------------------------------
+
+    def create_group(
+        self,
+        group_name: str,
+        member_names: Iterable[str],
+        kind: SystemKind = SystemKind.CAM_CHORD,
+        per_link_kbps: float = 100.0,
+        uniform_fanout: int = 2,
+    ) -> MulticastGroup:
+        """Establish a dedicated overlay for one group.
+
+        Members are mapped onto the group's ring with salted SHA-1 of
+        ``"group/host"`` (distinct groups place the same host at
+        unrelated identifiers, as independent hash functions would).
+        """
+        if group_name in self._groups:
+            raise ValueError(f"group {group_name!r} already exists")
+        names = list(member_names)
+        unknown = [n for n in names if n not in self._hosts]
+        if unknown:
+            raise KeyError(f"unregistered hosts: {unknown[:5]}")
+        if not names:
+            raise ValueError("a group needs at least one member")
+        mapping = assign_identifiers(
+            [f"{group_name}/{name}" for name in names], self._space
+        )
+        model = CapacityModel(per_link_kbps, minimum=kind.min_capacity)
+        nodes = []
+        by_name: dict[str, int] = {}
+        for name in names:
+            ident = mapping[f"{group_name}/{name}"]
+            by_name[name] = ident
+            nodes.append(
+                Node(
+                    ident=ident,
+                    capacity=model.capacity(self._hosts[name]),
+                    bandwidth_kbps=self._hosts[name],
+                    name=name,
+                )
+            )
+        snapshot = RingSnapshot(self._space, nodes)
+        group = MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout)
+        self._groups[group_name] = group
+        self._members[group_name] = by_name
+        return group
+
+    def drop_group(self, group_name: str) -> None:
+        """Tear down a group's overlay."""
+        self._groups.pop(group_name, None)
+        self._members.pop(group_name, None)
+
+    def group(self, group_name: str) -> MulticastGroup:
+        """Fetch a group's overlay."""
+        try:
+            return self._groups[group_name]
+        except KeyError:
+            raise KeyError(f"no group named {group_name!r}") from None
+
+    def groups_of(self, host_name: str) -> list[str]:
+        """Every group the host belongs to."""
+        return [
+            group
+            for group, members in self._members.items()
+            if host_name in members
+        ]
+
+    # -- the service ---------------------------------------------------------------
+
+    def multicast(
+        self, group_name: str, source_host: str, message_kbits: float = 1.0
+    ) -> MulticastResult:
+        """Deliver one message in one group, charging host uplinks."""
+        group = self.group(group_name)
+        members = self._members[group_name]
+        try:
+            source_ident = members[source_host]
+        except KeyError:
+            raise KeyError(
+                f"host {source_host!r} is not a member of {group_name!r}"
+            ) from None
+        result = group.multicast_from(group.snapshot.node_at(source_ident))
+        ident_to_name = {ident: name for name, ident in members.items()}
+        for ident, count in result.children_counts().items():
+            if count:
+                self._forwarded_kbits[ident_to_name[ident]] += count * message_kbits
+        return result
+
+    def host_load_kbits(self) -> Mapping[str, float]:
+        """Total forwarded traffic per host, across every group."""
+        return dict(self._forwarded_kbits)
+
+    def busiest_hosts(self, count: int = 5) -> list[tuple[str, float]]:
+        """The hosts carrying the most aggregate forwarding work."""
+        ranked = sorted(
+            self._forwarded_kbits.items(), key=lambda item: item[1], reverse=True
+        )
+        return ranked[:count]

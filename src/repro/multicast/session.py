@@ -1,0 +1,189 @@
+"""High-level public API: build a group, multicast from any member.
+
+A :class:`MulticastGroup` bundles one membership snapshot with one of
+the four overlay systems and its dissemination routine.  This is the
+facade most library users (and all examples) interact with::
+
+    group = MulticastGroup.build(
+        SystemKind.CAM_CHORD,
+        bandwidths_kbps=[550, 900, 410, ...],
+        per_link_kbps=100,
+        seed=7,
+    )
+    result = group.multicast_from(group.random_member())
+    print(result.average_path_length())
+
+Any member can be the source ("any source multicast"): each source
+implicitly gets its own tree, which is how the flooding approach
+spreads forwarding load across the whole group (Section 5.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from random import Random
+from typing import Sequence
+
+from repro.capacity.model import (
+    CAM_CHORD_MIN_CAPACITY,
+    CAM_KOORDE_MIN_CAPACITY,
+    CapacityModel,
+)
+from repro.idspace.ring import IdentifierSpace
+from repro.multicast.cam_chord import cam_chord_multicast
+from repro.multicast.cam_koorde import cam_koorde_multicast
+from repro.multicast.delivery import MulticastResult
+from repro.multicast.koorde_flood import koorde_flood
+from repro.overlay.base import Node, Overlay, RingSnapshot, build_snapshot
+from repro.overlay.cam_chord import CamChordOverlay
+from repro.overlay.cam_koorde import CamKoordeOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.koorde import KoordeOverlay
+
+#: Identifier-space width used throughout the paper's evaluation.
+DEFAULT_SPACE_BITS = 19
+
+
+class SystemKind(enum.Enum):
+    """The four systems compared in Section 6."""
+
+    CAM_CHORD = "cam-chord"
+    CAM_KOORDE = "cam-koorde"
+    CHORD = "chord"
+    KOORDE = "koorde"
+
+    @property
+    def capacity_aware(self) -> bool:
+        """True for the paper's contributions, False for the baselines."""
+        return self in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
+
+    @property
+    def min_capacity(self) -> int:
+        """The smallest capacity the overlay construction accepts."""
+        if self is SystemKind.CAM_KOORDE:
+            return CAM_KOORDE_MIN_CAPACITY
+        if self is SystemKind.CAM_CHORD:
+            return CAM_CHORD_MIN_CAPACITY
+        return 1
+
+
+class MulticastGroup:
+    """One multicast group with its dedicated overlay network.
+
+    "A dedicated CAM-Chord or CAM-Koorde overlay network is established
+    for each multicast group" (Section 2) — hence group == overlay.
+    """
+
+    def __init__(self, kind: SystemKind, overlay: Overlay) -> None:
+        self._kind = kind
+        self._overlay = overlay
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        kind: SystemKind,
+        snapshot: RingSnapshot,
+        uniform_fanout: int = 2,
+    ) -> "MulticastGroup":
+        """Wrap an existing membership snapshot.
+
+        ``uniform_fanout`` configures the capacity-oblivious baselines
+        (Chord base / Koorde degree) and is ignored by the CAM systems.
+        """
+        overlay: Overlay
+        if kind is SystemKind.CAM_CHORD:
+            overlay = CamChordOverlay(snapshot)
+        elif kind is SystemKind.CAM_KOORDE:
+            overlay = CamKoordeOverlay(snapshot)
+        elif kind is SystemKind.CHORD:
+            overlay = ChordOverlay(snapshot, base=uniform_fanout)
+        elif kind is SystemKind.KOORDE:
+            overlay = KoordeOverlay(snapshot, degree=uniform_fanout)
+        else:  # pragma: no cover - exhaustive enum
+            raise ValueError(f"unknown system kind: {kind}")
+        return cls(kind, overlay)
+
+    @classmethod
+    def build(
+        cls,
+        kind: SystemKind,
+        bandwidths_kbps: Sequence[float],
+        per_link_kbps: float,
+        space_bits: int = DEFAULT_SPACE_BITS,
+        uniform_fanout: int = 2,
+        seed: int = 0,
+    ) -> "MulticastGroup":
+        """Build a group from member upload bandwidths.
+
+        Capacities follow the paper's rule ``c_x = floor(B_x / p)``
+        with ``p = per_link_kbps``, clamped to the overlay's floor.
+        Members are placed at hash-uniform identifiers drawn with
+        ``seed``.
+        """
+        model = CapacityModel(per_link_kbps, minimum=kind.min_capacity)
+        capacities = model.capacities(list(bandwidths_kbps))
+        snapshot = build_snapshot(
+            IdentifierSpace(space_bits),
+            capacities,
+            bandwidths=list(bandwidths_kbps),
+            rng=Random(seed),
+        )
+        return cls.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def kind(self) -> SystemKind:
+        """Which of the four systems this group runs."""
+        return self._kind
+
+    @property
+    def overlay(self) -> Overlay:
+        """The underlying overlay network."""
+        return self._overlay
+
+    @property
+    def snapshot(self) -> RingSnapshot:
+        """The membership view."""
+        return self._overlay.snapshot
+
+    def __len__(self) -> int:
+        return len(self.snapshot)
+
+    def random_member(self, rng: Random | None = None) -> Node:
+        """A uniformly random member (e.g. to act as multicast source)."""
+        return self.snapshot.random_node(rng if rng is not None else Random())
+
+    # -- the service ------------------------------------------------------
+
+    def multicast_from(self, source: Node) -> MulticastResult:
+        """Deliver one message from ``source`` to every other member.
+
+        Returns the implicit tree the dissemination traced.  Raises if
+        ``source`` is not a member.
+        """
+        if source.ident not in self.snapshot:
+            raise KeyError(f"source {source.ident} is not a group member")
+        if self._kind is SystemKind.CAM_CHORD:
+            assert isinstance(self._overlay, CamChordOverlay)
+            return cam_chord_multicast(self._overlay, source)
+        if self._kind is SystemKind.CAM_KOORDE:
+            assert isinstance(self._overlay, CamKoordeOverlay)
+            return cam_koorde_multicast(self._overlay, source)
+        if self._kind is SystemKind.CHORD:
+            assert isinstance(self._overlay, ChordOverlay)
+            # The Figure 6 "Chord" baseline: the paper's balanced
+            # region-splitting multicast with a *uniform* fanout equal
+            # to the finger base, ignoring node bandwidth.  (El-Ansary's
+            # unbalanced broadcast is available separately as
+            # ``chord_broadcast`` and compared in the balance ablation.)
+            return cam_chord_multicast(self._overlay, source)
+        assert isinstance(self._overlay, KoordeOverlay)
+        return koorde_flood(self._overlay, source)
+
+    def lookup(self, start: Node, key: int):
+        """Resolve the member responsible for ``key`` starting at
+        ``start`` (used by join/leave in the live protocols)."""
+        return self._overlay.lookup(start, key)

@@ -1,0 +1,28 @@
+"""Structured P2P overlays: Chord, Koorde, CAM-Chord, CAM-Koorde.
+
+Each overlay implements neighbor-table arithmetic and a LOOKUP routine
+over a :class:`~repro.overlay.base.RingSnapshot` — an immutable view of
+the current membership.  The snapshot form is what the paper's own
+simulation measures (path lengths, child counts, bottleneck bandwidth
+are structural properties); the live, message-passing protocols that
+*maintain* these tables under churn live in :mod:`repro.protocol`.
+"""
+
+from repro.overlay.base import LookupResult, Node, Overlay, RingSnapshot
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.koorde import KoordeOverlay
+from repro.overlay.cam_chord import CamChordOverlay, level_and_sequence
+from repro.overlay.cam_koorde import CamKoordeOverlay, cam_koorde_neighbor_groups
+
+__all__ = [
+    "LookupResult",
+    "Node",
+    "Overlay",
+    "RingSnapshot",
+    "ChordOverlay",
+    "KoordeOverlay",
+    "CamChordOverlay",
+    "CamKoordeOverlay",
+    "level_and_sequence",
+    "cam_koorde_neighbor_groups",
+]

@@ -1,0 +1,285 @@
+"""Membership snapshot and the common overlay interface.
+
+A :class:`RingSnapshot` is an immutable, sorted view of the group at
+one instant.  Identifier resolution (``x-hat`` in the paper: the node
+responsible for an identifier) is a binary search, so extracting a full
+implicit multicast tree over 100,000 members costs O(n log n) — this is
+what makes the paper's scale tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from bisect import bisect_left, insort
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterable, Iterator, Sequence
+
+from repro.idspace.ring import IdentifierSpace, segment_contains
+
+
+@dataclass(frozen=True)
+class Node:
+    """One group member.
+
+    ``capacity`` is the paper's ``c_x``: the maximum number of direct
+    multicast children the node accepts.  ``bandwidth_kbps`` is its
+    upload bandwidth ``B_x``; the throughput model divides it evenly
+    among the node's tree children.
+    """
+
+    ident: int
+    capacity: int
+    bandwidth_kbps: float = 0.0
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ident < 0:
+            raise ValueError(f"identifier must be >= 0, got {self.ident}")
+        if self.capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.capacity}")
+        if self.bandwidth_kbps < 0:
+            raise ValueError(f"bandwidth must be >= 0, got {self.bandwidth_kbps}")
+
+    def __repr__(self) -> str:  # compact: snapshots hold 1e5 of these
+        return f"Node({self.ident}, c={self.capacity})"
+
+
+class RingSnapshot:
+    """An immutable membership view with O(log n) identifier resolution."""
+
+    def __init__(self, space: IdentifierSpace, nodes: Iterable[Node]) -> None:
+        ordered = sorted(nodes, key=lambda node: node.ident)
+        idents = [node.ident for node in ordered]
+        for node in ordered:
+            if not space.contains(node.ident):
+                raise ValueError(
+                    f"identifier {node.ident} outside space of {space.size}"
+                )
+        for prev, here in zip(idents, idents[1:]):
+            if prev == here:
+                raise ValueError(f"duplicate identifier on the ring: {here}")
+        if not ordered:
+            raise ValueError("a ring snapshot needs at least one node")
+        self._space = space
+        self._nodes: Sequence[Node] = tuple(ordered)
+        self._idents: Sequence[int] = tuple(idents)
+        self._by_ident = {node.ident: node for node in ordered}
+
+    @property
+    def space(self) -> IdentifierSpace:
+        """The identifier space this membership lives in."""
+        return self._space
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def __contains__(self, ident: int) -> bool:
+        return ident in self._by_ident
+
+    @property
+    def nodes(self) -> Sequence[Node]:
+        """All members in identifier order."""
+        return self._nodes
+
+    def node_at(self, ident: int) -> Node:
+        """Return the member with exactly this identifier."""
+        try:
+            return self._by_ident[ident]
+        except KeyError:
+            raise KeyError(f"no node with identifier {ident}") from None
+
+    def resolve(self, ident: int) -> Node:
+        """The paper's ``x-hat``: the node responsible for ``ident``.
+
+        That is the node at ``ident`` itself or, failing that, the first
+        node clockwise after it (``successor(ident)``).
+        """
+        position = bisect_left(self._idents, ident % self._space.size)
+        if position == len(self._idents):
+            position = 0
+        return self._nodes[position]
+
+    def successor(self, node: Node) -> Node:
+        """The next member strictly clockwise of ``node``."""
+        position = bisect_left(self._idents, node.ident)
+        return self._nodes[(position + 1) % len(self._nodes)]
+
+    def predecessor(self, node: Node) -> Node:
+        """The previous member strictly counter-clockwise of ``node``."""
+        position = bisect_left(self._idents, node.ident)
+        return self._nodes[(position - 1) % len(self._nodes)]
+
+    def random_node(self, rng: Random) -> Node:
+        """Uniformly random member."""
+        return self._nodes[rng.randrange(len(self._nodes))]
+
+    def nodes_in_segment(self, x: int, y: int, limit: int | None = None) -> list[Node]:
+        """Members whose identifiers lie in the clockwise segment
+        ``(x, y]``, in clockwise order, optionally capped at ``limit``.
+
+        Used by proximity neighbor selection (Section 5.2): a node may
+        pick any member of a neighbor window, so the window contents
+        must be enumerable.
+        """
+        size = self._space.size
+        span = (y - x) % size
+        if span == 0:
+            return []
+        out: list[Node] = []
+        position = bisect_left(self._idents, (x + 1) % size)
+        total = len(self._nodes)
+        for step in range(total):
+            node = self._nodes[(position + step) % total]
+            if not segment_contains(node.ident, x, y, size):
+                break
+            out.append(node)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def without(self, idents: Iterable[int]) -> "RingSnapshot":
+        """A new snapshot with the given members removed (churn support)."""
+        gone = set(idents)
+        survivors = [node for node in self._nodes if node.ident not in gone]
+        return RingSnapshot(self._space, survivors)
+
+    def with_nodes(self, nodes: Iterable[Node]) -> "RingSnapshot":
+        """A new snapshot with the given members added (churn support)."""
+        return RingSnapshot(self._space, list(self._nodes) + list(nodes))
+
+
+@dataclass
+class LookupResult:
+    """Outcome of one LOOKUP: the responsible node plus the route taken.
+
+    ``hops`` counts overlay forwarding steps (0 when the starting node
+    answered locally).  ``path`` includes the starting node and, when
+    the lookup succeeded, ends at ``responsible``.
+    """
+
+    responsible: Node
+    hops: int
+    path: list[Node] = field(default_factory=list)
+
+
+class Overlay(ABC):
+    """Common interface of the four overlay networks."""
+
+    def __init__(self, snapshot: RingSnapshot) -> None:
+        self._snapshot = snapshot
+        # The snapshot is immutable, so resolved neighbor sets are too;
+        # flooding visits every node once per tree and experiments build
+        # several trees per overlay, making this cache a large win.
+        self._neighbor_cache: dict[int, list[Node]] = {}
+
+    @property
+    def snapshot(self) -> RingSnapshot:
+        """The membership view this overlay is defined over."""
+        return self._snapshot
+
+    @property
+    def space(self) -> IdentifierSpace:
+        """The identifier space."""
+        return self._snapshot.space
+
+    @abstractmethod
+    def fanout(self, node: Node) -> int:
+        """The multicast fan-out budget of ``node``.
+
+        For the capacity-aware overlays this is ``node.capacity``; for
+        the capacity-oblivious baselines it is the uniform system-wide
+        degree, independent of the node.
+        """
+
+    @abstractmethod
+    def neighbor_identifiers(self, node: Node) -> list[int]:
+        """The *identifiers* ``node`` keeps links toward (with duplicates
+        as the construction produces them)."""
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Distinct resolved neighbor nodes, excluding ``node`` itself
+        (cached: the membership snapshot is immutable)."""
+        cached = self._neighbor_cache.get(node.ident)
+        if cached is not None:
+            return cached
+        seen: set[int] = set()
+        out: list[Node] = []
+        for ident in self.neighbor_identifiers(node):
+            resolved = self._snapshot.resolve(ident)
+            if resolved.ident == node.ident or resolved.ident in seen:
+                continue
+            seen.add(resolved.ident)
+            out.append(resolved)
+        self._neighbor_cache[node.ident] = out
+        return out
+
+    @abstractmethod
+    def lookup(self, start: Node, key: int) -> LookupResult:
+        """Find the node responsible for identifier ``key``."""
+
+    def check_lookup_invariants(self, result: LookupResult, key: int) -> None:
+        """Assert that a lookup answer is actually responsible for ``key``.
+
+        Responsibility means ``key`` lies in ``(predecessor(v), v]``.
+        Used by tests and by the paranoid mode of the experiment runner.
+        """
+        node = result.responsible
+        predecessor = self._snapshot.predecessor(node)
+        if len(self._snapshot) == 1:
+            return
+        if not self.space.in_segment(key, predecessor.ident, node.ident):
+            raise AssertionError(
+                f"lookup({key}) returned {node}, responsible segment is "
+                f"({predecessor.ident}, {node.ident}]"
+            )
+
+
+def build_snapshot(
+    space: IdentifierSpace,
+    capacities: Sequence[int],
+    bandwidths: Sequence[float] | None = None,
+    rng: Random | None = None,
+) -> RingSnapshot:
+    """Place ``len(capacities)`` nodes at random distinct identifiers.
+
+    The identifier draw models the SHA-1 mapping of Section 2 (uniform
+    without collisions).  ``rng`` defaults to a fixed seed so snapshots
+    are reproducible unless the caller opts out.
+    """
+    rng = rng if rng is not None else Random(0)
+    count = len(capacities)
+    if bandwidths is not None and len(bandwidths) != count:
+        raise ValueError("capacities and bandwidths must have equal length")
+    if count > space.size:
+        raise ValueError(
+            f"cannot place {count} nodes in a space of {space.size} identifiers"
+        )
+    idents = sample_identifiers(count, space.size, rng)
+    nodes = [
+        Node(
+            ident=ident,
+            capacity=capacities[index],
+            bandwidth_kbps=bandwidths[index] if bandwidths is not None else 0.0,
+        )
+        for index, ident in enumerate(idents)
+    ]
+    return RingSnapshot(space, nodes)
+
+
+def sample_identifiers(count: int, size: int, rng: Random) -> list[int]:
+    """Draw ``count`` distinct identifiers uniformly from ``[0, size)``."""
+    if count * 4 >= size:
+        # Dense ring: sampling without replacement via shuffle semantics.
+        return rng.sample(range(size), count)
+    chosen: list[int] = []
+    taken: set[int] = set()
+    while len(chosen) < count:
+        ident = rng.randrange(size)
+        if ident not in taken:
+            taken.add(ident)
+            insort(chosen, ident)
+    return chosen

@@ -1,0 +1,92 @@
+"""Plain Chord, generalized to base ``k`` — the capacity-oblivious baseline.
+
+Classic Chord (base 2) keeps fingers at ``x + 2**i``.  The base-``k``
+generalization keeps fingers at ``x + j * k**i`` for ``j in [1..k-1]``,
+giving every node the *same* fanout budget regardless of its upload
+bandwidth — exactly the property the paper's evaluation (Figure 6)
+holds against it.  The arithmetic is shared with CAM-Chord: Chord is
+CAM-Chord with every capacity pinned to ``k``.
+"""
+
+from __future__ import annotations
+
+from repro.overlay.base import LookupResult, Node, Overlay, RingSnapshot
+from repro.overlay.cam_chord import level_and_sequence
+
+
+class ChordOverlay(Overlay):
+    """Base-``k`` Chord over a membership snapshot.
+
+    ``base=2`` is the classic system of Stoica et al.; larger bases are
+    used by the Figure 6 sweep to vary the baseline's average fanout.
+    Node capacities and bandwidths are deliberately ignored when
+    building the finger table: that is the point of the baseline.
+    """
+
+    def __init__(self, snapshot: RingSnapshot, base: int = 2) -> None:
+        super().__init__(snapshot)
+        if base < 2:
+            raise ValueError(f"Chord base must be >= 2, got {base}")
+        self._base = base
+
+    @property
+    def base(self) -> int:
+        """The finger-table base ``k`` (uniform across all nodes)."""
+        return self._base
+
+    def fanout(self, node: Node) -> int:
+        return self._base
+
+    def neighbor_identifiers(self, node: Node) -> list[int]:
+        """All fingers ``x + j * base**i`` within one turn of the ring."""
+        size = self.space.size
+        out: list[int] = []
+        power = 1
+        while power < size:
+            for sequence in range(1, self._base):
+                offset = sequence * power
+                if offset >= size:
+                    break
+                out.append(self.space.add(node.ident, offset))
+            power *= self._base
+        return out
+
+    def finger_identifier(self, node: Node, level: int, sequence: int) -> int:
+        """The finger identifier ``(x + sequence * base**level) mod N``."""
+        if level < 0:
+            raise ValueError(f"level must be >= 0, got {level}")
+        if not 0 <= sequence < self._base:
+            raise ValueError(f"sequence must be in [0, {self._base}), got {sequence}")
+        return self.space.add(node.ident, sequence * self._base**level)
+
+    def lookup(self, start: Node, key: int) -> LookupResult:
+        """Greedy closest-preceding-finger routing (O(log_k n) hops)."""
+        space = self.space
+        snapshot = self.snapshot
+        current = start
+        hops = 0
+        path = [start]
+        while True:
+            if len(snapshot) == 1:
+                return LookupResult(current, hops, path)
+            predecessor = snapshot.predecessor(current)
+            if space.in_segment(key, predecessor.ident, current.ident):
+                return LookupResult(current, hops, path)
+            successor = snapshot.successor(current)
+            if space.in_segment(key, current.ident, successor.ident):
+                path.append(successor)
+                return LookupResult(successor, hops, path)
+            distance = space.segment_size(current.ident, key)
+            level, sequence = level_and_sequence(distance, self._base)
+            ident = self.finger_identifier(current, level, sequence)
+            finger = snapshot.resolve(ident)
+            if space.in_segment(key, current.ident, finger.ident):
+                path.append(finger)
+                return LookupResult(finger, hops, path)
+            if finger.ident == current.ident:
+                raise AssertionError(
+                    f"lookup stalled at node {current.ident} for key {key}"
+                )
+            current = finger
+            hops += 1
+            path.append(finger)

@@ -1,0 +1,175 @@
+"""Plain Koorde, generalized to de Bruijn degree ``k`` — the second
+capacity-oblivious baseline.
+
+Koorde (Kaashoek & Karger) embeds a de Bruijn graph in the Chord ring:
+node ``x`` keeps links toward the identifiers ``(k * x + j) mod N`` for
+``j in [0..k-1]`` — the identifier shifted one digit (base ``k``) to
+the *left* with the lowest digit replaced.  The replaced digit is the
+low-order one, so a node's de Bruijn neighbors differ only in their
+last ``log2 k`` bits: they cluster on the ring and often resolve to the
+same physical node.  Section 4 of the paper singles out exactly this
+clustering as the reason Koorde floods poorly, and fixes it in
+CAM-Koorde by shifting *right* instead.
+"""
+
+from __future__ import annotations
+
+from repro.overlay.base import LookupResult, Node, Overlay, RingSnapshot
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+class KoordeOverlay(Overlay):
+    """Degree-``k`` Koorde over a membership snapshot.
+
+    Every node keeps its ring predecessor/successor plus ``k`` de
+    Bruijn pointers, independent of its bandwidth.  Lookups route by
+    injecting the digits of the key into an *imaginary* identifier, as
+    in the original paper; when ``k`` is a power of two the imaginary
+    start is optimized inside the node's responsible segment, giving
+    the O(log_k n) w.h.p. hop count of Koorde's Theorem 11.
+    """
+
+    def __init__(self, snapshot: RingSnapshot, degree: int = 2) -> None:
+        super().__init__(snapshot)
+        if degree < 2:
+            raise ValueError(f"Koorde degree must be >= 2, got {degree}")
+        self._degree = degree
+        self._digit_bits = degree.bit_length() - 1 if _is_power_of_two(degree) else 0
+
+    @property
+    def degree(self) -> int:
+        """The de Bruijn degree ``k`` (uniform across all nodes)."""
+        return self._degree
+
+    def fanout(self, node: Node) -> int:
+        # pred + succ + k de Bruijn pointers is the link budget; the
+        # multicast fanout comparable to CAM capacities is that total.
+        return self._degree + 2
+
+    def neighbor_identifiers(self, node: Node) -> list[int]:
+        """The de Bruijn identifiers ``(k * x + j) mod N``."""
+        k = self._degree
+        return [self.space.normalize(k * node.ident + j) for j in range(k)]
+
+    def neighbors(self, node: Node) -> list[Node]:
+        """Ring neighbors plus the degree-``k`` de Bruijn pointers.
+
+        Koorde's degree-``k`` construction keeps pointers to the ``k``
+        *consecutive members* beginning at the node responsible for
+        ``k * x`` (the ``k`` raw identifiers ``k*x + j`` are adjacent
+        and usually collapse onto one member on a sparse ring).  The
+        pointers are therefore ``k`` distinct nodes — but clustered
+        together on the ring, which is exactly the property Section 4
+        of the paper criticizes and CAM-Koorde's high-order-bit shift
+        repairs.
+        """
+        cached = self._neighbor_cache.get(node.ident)
+        if cached is not None:
+            return cached
+        snapshot = self.snapshot
+        out: list[Node] = []
+        seen: set[int] = set()
+
+        def take(candidate: Node) -> None:
+            if candidate.ident != node.ident and candidate.ident not in seen:
+                seen.add(candidate.ident)
+                out.append(candidate)
+
+        take(snapshot.predecessor(node))
+        take(snapshot.successor(node))
+        cursor = snapshot.resolve(self.space.normalize(self._degree * node.ident))
+        for _ in range(self._degree):
+            take(cursor)
+            cursor = snapshot.successor(cursor)
+        self._neighbor_cache[node.ident] = out
+        return out
+
+    # -- routing ------------------------------------------------------
+
+    def _digit_count(self) -> int:
+        """Smallest ``L`` with ``k**L >= N``: digits needed to spell a key."""
+        k = self._degree
+        count = 0
+        power = 1
+        while power < self.space.size:
+            power *= k
+            count += 1
+        return count
+
+    def _best_imaginary_start(self, node: Node, key: int) -> tuple[int, int]:
+        """Choose the imaginary identifier inside ``node``'s segment that
+        minimizes the number of digit injections (power-of-two degree).
+
+        Returns ``(imaginary, injections)``.  An identifier ``z`` whose
+        low ``b - j*g`` bits equal the top ``b - j*g`` bits of ``key``
+        reaches ``key`` after ``j`` injections; the responsible segment
+        ``(pred, node]`` has ~``N/n`` identifiers, so some ``j`` around
+        ``log_k n`` always admits such a ``z``.
+        """
+        bits = self.space.bits
+        digit_bits = self._digit_bits
+        predecessor = self.snapshot.predecessor(node)
+        segment = self.space.segment_size(predecessor.ident, node.ident)
+        first = self.space.add(predecessor.ident, 1)
+        total_digits = self._digit_count()
+        for injections in range(total_digits + 1):
+            kept_bits = bits - injections * digit_bits
+            if kept_bits <= 0:
+                return node.ident, total_digits
+            step = 1 << kept_bits
+            residue = key >> (bits - kept_bits)
+            offset = (residue - first) % step
+            if offset < segment:
+                return self.space.add(first, offset), injections
+        return node.ident, total_digits
+
+    def lookup(self, start: Node, key: int) -> LookupResult:
+        """De Bruijn digit-injection routing.
+
+        Each hop corresponds to following one de Bruijn pointer; the
+        successor walks that a live deployment interleaves are folded
+        into the snapshot's ``resolve`` (they do not change the
+        asymptotic hop count and the paper does not plot Koorde lookup
+        hops).
+        """
+        space = self.space
+        snapshot = self.snapshot
+        k = self._degree
+        current = start
+        hops = 0
+        path = [start]
+        if len(snapshot) == 1:
+            return LookupResult(current, hops, path)
+        predecessor = snapshot.predecessor(current)
+        if space.in_segment(key, predecessor.ident, current.ident):
+            return LookupResult(current, hops, path)
+        if not self._digit_bits:
+            # Digit shifting is a permutation of [0, 2**b) only when the
+            # degree is a power of two; other degrees can still build
+            # and flood the overlay but cannot route by digit injection.
+            raise ValueError(
+                f"Koorde lookup requires a power-of-two degree, got {k}"
+            )
+        imaginary, injections = self._best_imaginary_start(current, key)
+        digit_bits = self._digit_bits
+        digits = [
+            (key >> (digit_bits * (injections - 1 - index))) & (k - 1)
+            for index in range(injections)
+        ]
+        for digit in digits:
+            imaginary = space.normalize(imaginary * k + digit)
+            nxt = snapshot.resolve(imaginary)
+            if nxt.ident != current.ident:
+                current = nxt
+                hops += 1
+                path.append(nxt)
+        # After all injections the imaginary identifier equals ``key``,
+        # so ``resolve`` has delivered us to the responsible node.
+        if not space.in_segment(
+            key, snapshot.predecessor(current).ident, current.ident
+        ):
+            raise AssertionError(f"Koorde lookup failed to converge on {key}")
+        return LookupResult(current, hops, path)

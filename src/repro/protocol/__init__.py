@@ -1,0 +1,34 @@
+"""Live overlay-maintenance protocols over the simulated network.
+
+The structural overlays in :mod:`repro.overlay` assume a consistent
+global membership view; the peers here maintain that view themselves,
+the way a deployment would: Chord's join / stabilize / notify /
+check-predecessor cycle with successor lists, plus a round-robin
+neighbor-table refresher (Chord's ``fix_fingers`` generalized to the
+CAM neighbor slots).  "Because CAM-Chord is an extension of Chord, we
+use the same Chord protocols to handle member join/departure ...  The
+only difference is that our LOOKUP routine replaces the Chord LOOKUP
+routine" (Section 3.3) — and Koorde/CAM-Koorde reuse the same
+machinery with their own link sets (Section 4.2).
+
+Multicast runs on top of the peers' *local* tables, so staleness under
+churn translates directly into measured delivery loss — the resilience
+experiments in :mod:`repro.churn` are built on exactly that.
+"""
+
+from repro.protocol.config import ProtocolConfig
+from repro.protocol.base_peer import BasePeer, DeliveryMonitor
+from repro.protocol.cam_chord_peer import CamChordPeer
+from repro.protocol.cam_koorde_peer import CamKoordePeer
+from repro.protocol.koorde_peer import KoordePeer
+from repro.protocol.cluster import Cluster
+
+__all__ = [
+    "ProtocolConfig",
+    "BasePeer",
+    "DeliveryMonitor",
+    "CamChordPeer",
+    "CamKoordePeer",
+    "KoordePeer",
+    "Cluster",
+]

@@ -1,0 +1,244 @@
+"""Drive a whole live overlay: bootstrap, churn operations, inspection.
+
+A :class:`Cluster` owns the simulator, network, delivery monitor and
+all peers of one live overlay session.  It is the test bench for the
+"resilient" half of the paper: build the ring, let the maintenance
+protocol converge, then join/leave/crash peers while multicasting and
+measure what arrives.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Sequence, Type
+
+from repro.idspace.ring import IdentifierSpace
+from repro.overlay.base import Node, RingSnapshot, sample_identifiers
+from repro.protocol.base_peer import BasePeer, DeliveryMonitor
+from repro.protocol.config import ProtocolConfig
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.network import Network
+
+
+class Cluster:
+    """One live overlay session under simulation."""
+
+    def __init__(
+        self,
+        peer_class: Type[BasePeer],
+        capacities: Sequence[int],
+        bandwidths: Sequence[float] | None = None,
+        space_bits: int = 19,
+        config: ProtocolConfig | None = None,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.space = IdentifierSpace(space_bits)
+        self.simulator = Simulator()
+        self.network = Network(
+            self.simulator,
+            latency=latency if latency is not None else ConstantLatency(0.02),
+            loss_rate=loss_rate,
+            seed=seed,
+        )
+        self.monitor = DeliveryMonitor()
+        self.config = config if config is not None else ProtocolConfig()
+        self._peer_class = peer_class
+        self._rng = Random(seed)
+        self.peers: dict[int, BasePeer] = {}
+
+        idents = sample_identifiers(len(capacities), self.space.size, self._rng)
+        self._initial: list[BasePeer] = []
+        for index, ident in enumerate(idents):
+            peer = self._make_peer(
+                ident,
+                capacities[index],
+                bandwidths[index] if bandwidths is not None else 0.0,
+            )
+            self._initial.append(peer)
+
+    def _make_peer(self, ident: int, capacity: int, bandwidth: float) -> BasePeer:
+        peer = self._peer_class(
+            ident,
+            capacity,
+            self.network,
+            self.space,
+            config=self.config,
+            bandwidth_kbps=bandwidth,
+            monitor=self.monitor,
+        )
+        self.peers[ident] = peer
+        return peer
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bootstrap(
+        self,
+        join_stagger: float = 0.05,
+        settle: float | None = None,
+        max_converge_rounds: int = 2000,
+    ) -> None:
+        """Join every initial peer and let the maintenance settle.
+
+        Peers join one by one (each via a random already-joined peer),
+        ``join_stagger`` apart.  A mass join telescopes successor
+        pointers, and Chord stabilization then shortens each pointer by
+        one live member per round — so the cluster first runs until the
+        ring invariant holds, then for ``settle`` more seconds (default:
+        enough fix-neighbor rounds to fill the largest table).
+        """
+        first, rest = self._initial[0], self._initial[1:]
+        first.create()
+        joined = [first]
+
+        when = 0.0
+        for peer in rest:
+            when += join_stagger
+            bootstrap_peer = self._rng.choice(joined)
+
+            def do_join(p: BasePeer = peer, b: BasePeer = bootstrap_peer) -> None:
+                p.join(b.ident)
+
+            self.simulator.call_at(when, do_join)
+            joined.append(peer)
+        self.simulator.run(until=when + join_stagger)
+
+        # A join lookup can fail while the ring is still telescoped;
+        # real clients retry, so the bootstrap does too.
+        for _ in range(50):
+            stragglers = [p for p in self._initial if not p.alive]
+            if not stragglers:
+                break
+            live = self.live_peers()
+            for peer in stragglers:
+                peer.join(self._rng.choice(live).ident)
+            self.run(2 * self.config.stabilize_interval)
+        else:
+            dead = [p.ident for p in self._initial if not p.alive]
+            raise RuntimeError(f"{len(dead)} peers failed to join: {dead[:5]}")
+
+        for _ in range(max_converge_rounds):
+            if self.ring_consistent():
+                break
+            self.run(self.config.stabilize_interval)
+        else:
+            raise RuntimeError(
+                f"ring failed to converge within {max_converge_rounds} rounds"
+            )
+
+        if settle is None:
+            slots = max(len(list(p.slot_specs())) for p in self._initial)
+            settle = (slots + 2) * self.config.fix_neighbors_interval
+        self.run(settle)
+
+    def run(self, duration: float) -> None:
+        """Advance simulated time."""
+        self.simulator.run(until=self.simulator.now + duration)
+
+    # -- churn operations ------------------------------------------------------
+
+    def add_peer(self, capacity: int, bandwidth: float = 0.0) -> BasePeer:
+        """Join a brand-new member through a random live peer."""
+        live = self.live_peers()
+        if not live:
+            raise RuntimeError("cannot join: no live peers to bootstrap from")
+        while True:
+            ident = self._rng.randrange(self.space.size)
+            if ident not in self.peers:
+                break
+        peer = self._make_peer(ident, capacity, bandwidth)
+        peer.join(self._rng.choice(live).ident)
+        return peer
+
+    def remove_peer(self, ident: int, crash: bool = True) -> None:
+        """Depart a member (abruptly by default)."""
+        peer = self.peers[ident]
+        if crash:
+            peer.crash()
+        else:
+            peer.leave()
+
+    def random_live_peer(self, rng: Random | None = None) -> BasePeer:
+        """A uniformly random live member."""
+        live = self.live_peers()
+        if not live:
+            raise RuntimeError("no live peers")
+        chooser = rng if rng is not None else self._rng
+        return chooser.choice(live)
+
+    # -- inspection -------------------------------------------------------------
+
+    def live_peers(self) -> list[BasePeer]:
+        """All currently alive peers, in identifier order."""
+        return sorted(
+            (p for p in self.peers.values() if p.alive), key=lambda p: p.ident
+        )
+
+    def live_members(self) -> set[int]:
+        """Identifiers of the live membership."""
+        return {p.ident for p in self.peers.values() if p.alive}
+
+    def ring_consistent(self) -> bool:
+        """True when every live peer's successor is the true next live
+        member — the Chord correctness invariant."""
+        live = self.live_peers()
+        if len(live) <= 1:
+            return True
+        for index, peer in enumerate(live):
+            expected = live[(index + 1) % len(live)].ident
+            if peer.successor != expected:
+                return False
+        return True
+
+    def neighbor_table_accuracy(self) -> float:
+        """Fraction of neighbor-table entries matching true resolution."""
+        snapshot = self.live_snapshot()
+        total = 0
+        correct = 0
+        for peer in self.live_peers():
+            for key, identifier in peer.slot_specs():
+                believed = peer.neighbor_table.get(key)
+                if key == (0, 1):
+                    believed = peer.successor
+                total += 1
+                truth = snapshot.resolve(identifier).ident
+                if believed is None:
+                    # A peer keeps no entry for a slot it is itself
+                    # responsible for — that is the correct answer.
+                    if truth == peer.ident:
+                        correct += 1
+                    continue
+                if believed == truth or truth == peer.ident:
+                    correct += 1
+        return correct / total if total else 1.0
+
+    def live_snapshot(self) -> RingSnapshot:
+        """A structural snapshot of the live membership (ground truth)."""
+        nodes = [
+            Node(
+                ident=p.ident,
+                capacity=p.capacity,
+                bandwidth_kbps=p.bandwidth_kbps,
+            )
+            for p in self.live_peers()
+        ]
+        return RingSnapshot(self.space, nodes)
+
+    # -- multicast --------------------------------------------------------------
+
+    def multicast_from(self, ident: int) -> int:
+        """Originate a multicast at a live peer; returns the message id."""
+        peer = self.peers[ident]
+        if not peer.alive:
+            raise RuntimeError(f"peer {ident} is not alive")
+        message_id = peer.next_message_id()
+        self.monitor.message_sent(message_id, ident, self.live_members())
+        peer.multicast(message_id)  # type: ignore[attr-defined]
+        return message_id
+
+    def delivery_ratio(self, message_id: int) -> float:
+        """Delivery ratio of one multicast against the members that were
+        alive at send time and are still alive now."""
+        return self.monitor.delivery_ratio(message_id, self.live_members())

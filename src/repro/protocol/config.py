@@ -1,0 +1,46 @@
+"""Tunables of the maintenance protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProtocolConfig:
+    """Timing and sizing knobs shared by every peer.
+
+    Intervals are simulated seconds.  The defaults mirror common Chord
+    deployments: stabilization every few seconds, a slower neighbor
+    (finger) refresh, and a successor list long enough to survive
+    several simultaneous departures (Chord suggests ``O(log n)``).
+    """
+
+    stabilize_interval: float = 2.0
+    fix_neighbors_interval: float = 1.0
+    check_predecessor_interval: float = 5.0
+    successor_list_size: int = 8
+    rpc_timeout: float = 1.0
+    lookup_max_hops: int = 64
+    lookup_retries: int = 3
+    #: CAM-Chord multicast repair: acknowledge each region handoff and,
+    #: when a child never answers, re-resolve the region's owner via a
+    #: lookup and resend.  Off by default (the paper's baseline routine
+    #: is unacknowledged); the extension recovers subtrees that a stale
+    #: neighbor-table entry would silently lose under churn.
+    reliable_multicast: bool = False
+
+    def __post_init__(self) -> None:
+        if self.stabilize_interval <= 0:
+            raise ValueError("stabilize_interval must be positive")
+        if self.fix_neighbors_interval <= 0:
+            raise ValueError("fix_neighbors_interval must be positive")
+        if self.check_predecessor_interval <= 0:
+            raise ValueError("check_predecessor_interval must be positive")
+        if self.successor_list_size < 1:
+            raise ValueError("successor_list_size must be >= 1")
+        if self.rpc_timeout <= 0:
+            raise ValueError("rpc_timeout must be positive")
+        if self.lookup_max_hops < 1:
+            raise ValueError("lookup_max_hops must be >= 1")
+        if self.lookup_retries < 0:
+            raise ValueError("lookup_retries must be >= 0")

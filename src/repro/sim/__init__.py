@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate.
+
+The paper's resilience story — "dynamic membership", "the robustness of
+the system comes from the maintenance protocol of Chord" — is about
+*live* protocols exchanging messages under churn.  ``simpy`` is not
+available in this offline environment, so this package provides the
+equivalent machinery from scratch: an event-queue simulator with
+generator-based processes (:mod:`repro.sim.engine`), a message-passing
+network with configurable latency and loss (:mod:`repro.sim.network`),
+and latency models including a geographic one for the Section 5.2
+proximity experiments (:mod:`repro.sim.latency`).
+"""
+
+from repro.sim.engine import Future, ProcessHandle, Simulator
+from repro.sim.latency import (
+    ConstantLatency,
+    GeographicLatency,
+    LatencyModel,
+    UniformLatency,
+)
+from repro.sim.network import Endpoint, Message, Network
+
+__all__ = [
+    "Future",
+    "ProcessHandle",
+    "Simulator",
+    "ConstantLatency",
+    "GeographicLatency",
+    "LatencyModel",
+    "UniformLatency",
+    "Endpoint",
+    "Message",
+    "Network",
+]

@@ -1,0 +1,94 @@
+"""Link-latency models for the message-passing network.
+
+The paper measures latency in overlay hops, so the figure harness uses
+:class:`ConstantLatency`.  The Section 5.2 discussion (Proximity
+Neighbor Selection / Geographic Layout) motivates the
+:class:`GeographicLatency` model: hosts live at coordinates on a unit
+torus and the link delay grows with distance — "two neighbors may be
+separated by transcontinental links, or they may be on the same LAN".
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from random import Random
+
+
+class LatencyModel(ABC):
+    """Delay (in simulated seconds) of one message between endpoints."""
+
+    @abstractmethod
+    def delay(self, source: int, destination: int, rng: Random) -> float:
+        """One-way delay from ``source`` to ``destination``."""
+
+
+@dataclass(frozen=True)
+class ConstantLatency(LatencyModel):
+    """Every link has the same one-way delay (hop-count semantics)."""
+
+    seconds: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {self.seconds}")
+
+    def delay(self, source: int, destination: int, rng: Random) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class UniformLatency(LatencyModel):
+    """Independent uniform delay per message — cheap jitter model."""
+
+    low: float = 0.02
+    high: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.low < 0 or self.high < self.low:
+            raise ValueError(f"invalid latency range [{self.low}, {self.high}]")
+
+    def delay(self, source: int, destination: int, rng: Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass
+class GeographicLatency(LatencyModel):
+    """Delay proportional to torus distance between host coordinates.
+
+    Coordinates are assigned lazily (seeded by the endpoint identifier
+    so that placement is stable across simulator restarts).  The delay
+    is ``base + distance * per_unit`` with optional multiplicative
+    jitter.
+    """
+
+    base: float = 0.01
+    per_unit: float = 0.2
+    jitter: float = 0.1
+    placement_seed: int = 0
+    _coords: dict[int, tuple[float, float]] = field(default_factory=dict, repr=False)
+
+    def place(self, endpoint: int, x: float, y: float) -> None:
+        """Pin a host's position explicitly (e.g. Geographic Layout
+        experiments, where identifiers derive from real coordinates)."""
+        self._coords[endpoint] = (x, y)
+
+    def coordinates(self, endpoint: int) -> tuple[float, float]:
+        """The host's position on the unit torus."""
+        if endpoint not in self._coords:
+            rng = Random((self.placement_seed << 32) ^ endpoint)
+            self._coords[endpoint] = (rng.random(), rng.random())
+        return self._coords[endpoint]
+
+    def distance(self, source: int, destination: int) -> float:
+        """Torus distance between two hosts' coordinates."""
+        ax, ay = self.coordinates(source)
+        bx, by = self.coordinates(destination)
+        dx = min(abs(ax - bx), 1 - abs(ax - bx))
+        dy = min(abs(ay - by), 1 - abs(ay - by))
+        return math.hypot(dx, dy)
+
+    def delay(self, source: int, destination: int, rng: Random) -> float:
+        noise = 1.0 + rng.uniform(-self.jitter, self.jitter) if self.jitter else 1.0
+        return (self.base + self.distance(source, destination) * self.per_unit) * noise

@@ -1,0 +1,187 @@
+"""Message-passing network over the event simulator.
+
+Endpoints register under their overlay identifier; ``send`` delivers a
+:class:`Message` after the latency model's one-way delay, or silently
+drops it when the destination has crashed / departed (exactly how a UDP
+datagram to a dead host behaves), when the loss model fires, or when
+the pair is partitioned.  A lightweight request/response facility with
+timeouts is layered on top — the building block for the Chord-style
+maintenance RPCs in :mod:`repro.protocol`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+from typing import Any, Protocol
+
+from repro.sim.engine import Future, Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+
+@dataclass(frozen=True)
+class Message:
+    """One datagram on the simulated network."""
+
+    sender: int
+    recipient: int
+    kind: str
+    payload: Any = None
+    request_id: int | None = None
+    is_reply: bool = False
+
+
+class Endpoint(Protocol):
+    """What the network expects of a registered host."""
+
+    def handle_message(self, message: Message) -> None:
+        """Process one delivered datagram."""
+
+
+@dataclass
+class NetworkStats:
+    """Counters for everything the network did."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_dead: int = 0
+    dropped_loss: int = 0
+    dropped_partition: int = 0
+    timeouts: int = 0
+
+
+class Network:
+    """Unreliable datagram network with request/response support."""
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        latency: LatencyModel | None = None,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self._sim = simulator
+        self._latency = latency if latency is not None else ConstantLatency()
+        self._loss_rate = loss_rate
+        self._rng = Random(seed)
+        self._endpoints: dict[int, Endpoint] = {}
+        self._pending: dict[int, Future] = {}
+        self._next_request_id = 1
+        self._partitioned: set[frozenset[int]] = set()
+        self.stats = NetworkStats()
+
+    @property
+    def simulator(self) -> Simulator:
+        """The event loop this network schedules on."""
+        return self._sim
+
+    # -- membership -----------------------------------------------------
+
+    def register(self, address: int, endpoint: Endpoint) -> None:
+        """Attach a host under ``address`` (rejects duplicates)."""
+        if address in self._endpoints:
+            raise ValueError(f"address {address} already registered")
+        self._endpoints[address] = endpoint
+
+    def unregister(self, address: int) -> None:
+        """Detach a host: all in-flight traffic to it is dropped."""
+        self._endpoints.pop(address, None)
+
+    def is_registered(self, address: int) -> bool:
+        """True while the host is attached."""
+        return address in self._endpoints
+
+    # -- fault injection --------------------------------------------------
+
+    def partition(self, a: int, b: int) -> None:
+        """Silently drop all traffic between two hosts (both ways)."""
+        self._partitioned.add(frozenset((a, b)))
+
+    def heal(self, a: int, b: int) -> None:
+        """Undo :meth:`partition`."""
+        self._partitioned.discard(frozenset((a, b)))
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the iid message-loss probability."""
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        self._loss_rate = loss_rate
+
+    # -- datagrams --------------------------------------------------------
+
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        request_id: int | None = None,
+        is_reply: bool = False,
+    ) -> None:
+        """Fire-and-forget datagram."""
+        self.stats.sent += 1
+        if frozenset((sender, recipient)) in self._partitioned:
+            self.stats.dropped_partition += 1
+            return
+        if self._loss_rate and self._rng.random() < self._loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        message = Message(sender, recipient, kind, payload, request_id, is_reply)
+        delay = self._latency.delay(sender, recipient, self._rng)
+        self._sim.call_later(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        if message.is_reply and message.request_id is not None:
+            future = self._pending.pop(message.request_id, None)
+            if future is not None and not future.done:
+                self.stats.delivered += 1
+                future.resolve(message.payload)
+            return
+        endpoint = self._endpoints.get(message.recipient)
+        if endpoint is None:
+            self.stats.dropped_dead += 1
+            return
+        self.stats.delivered += 1
+        endpoint.handle_message(message)
+
+    # -- request / response ------------------------------------------------
+
+    def request(
+        self,
+        sender: int,
+        recipient: int,
+        kind: str,
+        payload: Any = None,
+        timeout: float = 2.0,
+    ) -> Future:
+        """Send a request datagram; the future resolves with the reply
+        payload or fails after ``timeout`` simulated seconds."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        future = Future()
+        self._pending[request_id] = future
+
+        def expire() -> None:
+            pending = self._pending.pop(request_id, None)
+            if pending is not None and not pending.done:
+                self.stats.timeouts += 1
+                pending.fail(f"request {kind} to {recipient} timed out")
+
+        self._sim.call_later(timeout, expire)
+        self.send(sender, recipient, kind, payload, request_id=request_id)
+        return future
+
+    def respond(self, request: Message, payload: Any = None) -> None:
+        """Reply to a request message (routes back to the waiter)."""
+        if request.request_id is None:
+            raise ValueError("cannot respond to a fire-and-forget message")
+        self.send(
+            request.recipient,
+            request.sender,
+            request.kind,
+            payload,
+            request_id=request.request_id,
+            is_reply=True,
+        )

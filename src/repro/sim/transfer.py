@@ -1,0 +1,151 @@
+"""Timed, packet-level message transfer over an implicit multicast tree.
+
+Section 6.1 *models* sustainable throughput analytically: each node
+divides its upload bandwidth evenly among its tree children, and the
+session rate is the smallest allocation anywhere.  This module checks
+that model against an explicit store-and-forward simulation: the
+message is cut into packets, every node forwards packet ``i`` to each
+child as soon as (a) the packet has fully arrived and (b) the child's
+share of the uplink is free — the per-packet pipelining Section 4.3
+describes ("a node does not have to wait for the entire message to
+arrive before forwarding it").
+
+For a message much longer than the tree is deep, the measured session
+rate converges to the analytic bottleneck; for short messages the
+propagation term dominates.  Experiment extH sweeps both regimes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.multicast.delivery import MulticastResult
+from repro.overlay.base import RingSnapshot
+
+#: per-hop one-way latency in seconds: (parent_ident, child_ident) -> s
+HopLatency = Callable[[int, int], float]
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one timed tree transfer.
+
+    ``completion_time`` maps each member to the instant its *last*
+    packet arrived (the source maps to 0.0).  ``session_completion``
+    is the slowest member's completion; ``measured_throughput_kbps``
+    is the end-to-end rate the slowest member experienced.
+    """
+
+    message_kbits: float
+    packet_count: int
+    completion_time: Mapping[int, float]
+    first_packet_time: Mapping[int, float]
+
+    @property
+    def session_completion(self) -> float:
+        """When the last member finished receiving."""
+        return max(self.completion_time.values())
+
+    @property
+    def measured_throughput_kbps(self) -> float:
+        """Worst member's effective receive rate, message/(completion)."""
+        if self.session_completion <= 0:
+            return float("inf")
+        return self.message_kbits / self.session_completion
+
+    def member_throughput_kbps(self, ident: int) -> float:
+        """One member's effective receive rate."""
+        elapsed = self.completion_time[ident]
+        if elapsed <= 0:
+            return float("inf")
+        return self.message_kbits / elapsed
+
+    def startup_delay(self, ident: int) -> float:
+        """When the member's *first* packet arrived (stream start-up)."""
+        return self.first_packet_time[ident]
+
+
+def simulate_tree_transfer(
+    tree: MulticastResult,
+    snapshot: RingSnapshot,
+    message_kbits: float,
+    packet_count: int = 32,
+    hop_latency: HopLatency | None = None,
+) -> TransferResult:
+    """Pipeline ``message_kbits`` through ``tree`` and time every member.
+
+    Per the Section 6.1 allocation, a node with ``d`` children and
+    upload bandwidth ``B`` sends to each child over a dedicated
+    ``B/d``-kbps share; packet ``i`` leaves for a child once the packet
+    has arrived *and* the previous packet to that child has finished
+    serializing.  Packets traverse the tree breadth-first (parents
+    strictly before children), so one pass computes all times exactly
+    — the computation is deterministic, no event queue needed.
+    """
+    if message_kbits <= 0:
+        raise ValueError(f"message size must be positive, got {message_kbits}")
+    if packet_count < 1:
+        raise ValueError(f"packet count must be >= 1, got {packet_count}")
+    latency = hop_latency if hop_latency is not None else (lambda a, b: 0.0)
+    packet_kbits = message_kbits / packet_count
+
+    children: dict[int, list[int]] = {ident: [] for ident in tree.parent}
+    for child, parent in tree.parent.items():
+        if parent is not None:
+            children[parent].append(child)
+
+    # arrival[v][i] = when packet i has fully arrived at v
+    source = tree.source_ident
+    arrival: dict[int, list[float]] = {source: [0.0] * packet_count}
+    completion: dict[int, float] = {source: 0.0}
+    first: dict[int, float] = {source: 0.0}
+
+    queue: deque[int] = deque([source])
+    while queue:
+        parent = queue.popleft()
+        kids = children[parent]
+        if not kids:
+            continue
+        node = snapshot.node_at(parent)
+        if node.bandwidth_kbps <= 0:
+            raise ValueError(
+                f"node {parent} has no bandwidth; timed transfer needs "
+                "per-node bandwidths"
+            )
+        share = node.bandwidth_kbps / len(kids)
+        serialize = packet_kbits / share
+        parent_arrivals = arrival[parent]
+        for child in kids:
+            delay = latency(parent, child)
+            times = [0.0] * packet_count
+            previous_done = 0.0
+            for index in range(packet_count):
+                start = max(parent_arrivals[index], previous_done)
+                previous_done = start + serialize
+                times[index] = previous_done + delay
+            arrival[child] = times
+            completion[child] = times[-1]
+            first[child] = times[0]
+            queue.append(child)
+
+    return TransferResult(
+        message_kbits=message_kbits,
+        packet_count=packet_count,
+        completion_time=completion,
+        first_packet_time=first,
+    )
+
+
+def analytic_bottleneck_kbps(tree: MulticastResult, snapshot: RingSnapshot) -> float:
+    """The Section 6.1 model: ``min over internal x of B_x / d_x``."""
+    best: float | None = None
+    for ident, count in tree.children_counts().items():
+        if count == 0:
+            continue
+        allocation = snapshot.node_at(ident).bandwidth_kbps / count
+        best = allocation if best is None else min(best, allocation)
+    if best is None:
+        return snapshot.node_at(tree.source_ident).bandwidth_kbps
+    return best

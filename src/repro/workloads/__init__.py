@@ -1,0 +1,5 @@
+"""Workload generation for experiments and examples."""
+
+from repro.workloads.groups import GroupSpec, generate_group
+
+__all__ = ["GroupSpec", "generate_group"]

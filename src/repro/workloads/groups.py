@@ -1,0 +1,73 @@
+"""Reproducible generation of multicast groups.
+
+A :class:`GroupSpec` captures everything the paper's Section 6 setup
+varies: group size, identifier-space width, and either a capacity
+distribution (Figures 9-11 sweep capacity ranges directly) or a
+bandwidth distribution plus per-link rate ``p`` (Figures 6-8 derive
+capacities as ``floor(B_x / p)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from random import Random
+
+from repro.capacity.distributions import (
+    BandwidthDistribution,
+    CapacityDistribution,
+)
+from repro.capacity.model import CapacityModel
+from repro.idspace.ring import IdentifierSpace
+from repro.overlay.base import RingSnapshot, build_snapshot
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """Parameters of one generated group.
+
+    Exactly one of ``capacities`` / (``bandwidths`` + ``per_link_kbps``)
+    must be provided.  ``min_capacity`` is the overlay-specific floor
+    applied after sampling (CAM-Chord: 2, CAM-Koorde: 4).
+    """
+
+    size: int
+    space_bits: int = 19
+    capacities: CapacityDistribution | None = None
+    bandwidths: BandwidthDistribution | None = None
+    per_link_kbps: float | None = None
+    min_capacity: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"group size must be >= 1, got {self.size}")
+        capacity_mode = self.capacities is not None
+        bandwidth_mode = self.bandwidths is not None
+        if capacity_mode == bandwidth_mode:
+            raise ValueError(
+                "provide exactly one of capacities / bandwidths(+per_link_kbps)"
+            )
+        if bandwidth_mode and self.per_link_kbps is None:
+            raise ValueError("bandwidth mode requires per_link_kbps (the paper's p)")
+
+
+def generate_group(spec: GroupSpec, seed: int = 0) -> RingSnapshot:
+    """Materialize a membership snapshot from a spec, deterministically.
+
+    The same ``(spec, seed)`` pair always produces the identical
+    snapshot: identifier placement, bandwidths and capacities all draw
+    from one seeded generator.
+    """
+    rng = Random(seed)
+    space = IdentifierSpace(spec.space_bits)
+    if spec.capacities is not None:
+        capacities = [
+            max(spec.min_capacity, spec.capacities.sample(rng))
+            for _ in range(spec.size)
+        ]
+        bandwidths = None
+    else:
+        assert spec.bandwidths is not None and spec.per_link_kbps is not None
+        model = CapacityModel(spec.per_link_kbps, minimum=spec.min_capacity)
+        bandwidths = spec.bandwidths.sample_many(spec.size, rng)
+        capacities = model.capacities(bandwidths)
+    return build_snapshot(space, capacities, bandwidths=bandwidths, rng=rng)

@@ -1,0 +1,132 @@
+"""CAM-Koorde overlay: neighbor groups and ps-common-bit lookup."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.overlay.cam_koorde import (
+    CamKoordeOverlay,
+    cam_koorde_neighbor_groups,
+)
+from tests.conftest import make_snapshot, random_snapshot
+
+
+class TestNeighborGroups:
+    def test_basic_group_shift_identifiers(self):
+        groups = cam_koorde_neighbor_groups(0b100100, 4, 6)
+        # x/2 and 2^(b-1) + x/2
+        assert groups.basic_shift == (0b010010, 0b110010)
+
+    def test_identifier_count_matches_capacity_minus_ring_links(self):
+        """de Bruijn identifiers = capacity - 2 (pred/succ are the rest)."""
+        for capacity in range(4, 40):
+            groups = cam_koorde_neighbor_groups(36, capacity, 12)
+            assert len(groups.all_identifiers()) == capacity - 2
+
+    def test_second_group_even_spread(self):
+        """Second-group identifiers are spaced N / t apart on the ring."""
+        groups = cam_koorde_neighbor_groups(36, 10, 6)
+        second = sorted(groups.second)
+        gaps = {second[i + 1] - second[i] for i in range(len(second) - 1)}
+        assert gaps == {64 // 4}
+
+    def test_identifiers_in_space(self):
+        for capacity in (4, 5, 8, 16, 33, 100):
+            groups = cam_koorde_neighbor_groups(123, capacity, 10)
+            assert all(0 <= i < 1024 for i in groups.all_identifiers())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cam_koorde_neighbor_groups(0, 3, 6)
+        with pytest.raises(ValueError, match="outside"):
+            cam_koorde_neighbor_groups(64, 4, 6)
+        with pytest.raises(ValueError):
+            cam_koorde_neighbor_groups(0, 4, 1)
+
+    def test_huge_capacity_does_not_overflow_shifts(self):
+        # capacity larger than the space width must still stay in-ring.
+        groups = cam_koorde_neighbor_groups(5, 300, 8)
+        assert all(0 <= i < 256 for i in groups.all_identifiers())
+
+
+class TestOverlay:
+    def test_rejects_capacity_below_four(self):
+        snap = make_snapshot(6, [0, 10], capacity=3)
+        with pytest.raises(ValueError, match="capacity >= 4"):
+            CamKoordeOverlay(snap)
+
+    def test_neighbor_count_at_most_capacity(self):
+        snap = random_snapshot(12, 80, seed=2, capacity_range=(4, 20))
+        overlay = CamKoordeOverlay(snap)
+        for node in snap:
+            assert len(overlay.neighbors(node)) <= node.capacity
+
+    def test_ring_links_always_present(self):
+        snap = random_snapshot(12, 80, seed=3)
+        overlay = CamKoordeOverlay(snap)
+        for node in snap:
+            idents = {n.ident for n in overlay.neighbors(node)}
+            assert snap.predecessor(node).ident in idents
+            assert snap.successor(node).ident in idents
+
+    def test_neighbor_spread_beats_koorde(self):
+        """CAM-Koorde neighbors should scatter over the whole ring: the
+        de Bruijn identifiers differ in their high-order bits."""
+        groups = cam_koorde_neighbor_groups(1000, 12, 19)
+        idents = sorted(groups.all_identifiers())
+        span = idents[-1] - idents[0]
+        assert span > (1 << 19) // 2  # covers more than half the ring
+
+
+class TestLookup:
+    def test_every_key_small_ring(self):
+        snap = make_snapshot(6, [1, 4, 9, 12, 18, 21, 25, 30, 35, 36], capacity=5)
+        overlay = CamKoordeOverlay(snap)
+        for start in snap:
+            for key in range(64):
+                result = overlay.lookup(start, key)
+                assert result.responsible.ident == snap.resolve(key).ident
+
+    def test_figure4_topology_lookup(self, figure4_snapshot):
+        overlay = CamKoordeOverlay(figure4_snapshot)
+        for start in figure4_snapshot:
+            for key in range(64):
+                result = overlay.lookup(start, key)
+                assert result.responsible.ident == figure4_snapshot.resolve(key).ident
+
+    def test_single_node(self):
+        snap = make_snapshot(6, [9], capacity=4)
+        overlay = CamKoordeOverlay(snap)
+        assert overlay.lookup(snap.node_at(9), 50).responsible.ident == 9
+
+    def test_hop_count_reasonable(self):
+        """Theorem 5 scaling sanity: hops stay near log n / log c."""
+        rng = Random(7)
+        snap = random_snapshot(19, 2000, seed=7, capacity_range=(8, 8))
+        overlay = CamKoordeOverlay(snap)
+        hops = []
+        for _ in range(200):
+            start = snap.random_node(rng)
+            key = rng.randrange(2**19)
+            hops.append(overlay.lookup(start, key).hops)
+        mean = sum(hops) / len(hops)
+        assert mean <= 25  # log2(2000) ~ 11; allow generous slack
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    idents=st.sets(st.integers(min_value=0, max_value=1023), min_size=2, max_size=60),
+    capacity=st.integers(min_value=4, max_value=16),
+    key=st.integers(min_value=0, max_value=1023),
+    start_index=st.integers(min_value=0),
+)
+def test_lookup_always_finds_responsible(idents, capacity, key, start_index):
+    snap = make_snapshot(10, sorted(idents), capacity=capacity)
+    overlay = CamKoordeOverlay(snap)
+    start = snap.nodes[start_index % len(snap.nodes)]
+    result = overlay.lookup(start, key)
+    assert result.responsible.ident == snap.resolve(key).ident

@@ -1,0 +1,65 @@
+"""Plain Chord baseline: finger tables and lookup."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+
+from repro.overlay.chord import ChordOverlay
+from tests.conftest import make_snapshot, random_snapshot
+
+
+class TestFingers:
+    def test_classic_base2_fingers(self):
+        snap = make_snapshot(8, [0, 50, 100, 200], capacity=2)
+        overlay = ChordOverlay(snap, base=2)
+        node = snap.node_at(0)
+        assert sorted(overlay.neighbor_identifiers(node)) == [
+            1, 2, 4, 8, 16, 32, 64, 128,
+        ]
+
+    def test_base4_fingers(self):
+        snap = make_snapshot(4, [0, 5], capacity=2)
+        overlay = ChordOverlay(snap, base=4)
+        node = snap.node_at(0)
+        assert sorted(overlay.neighbor_identifiers(node)) == [1, 2, 3, 4, 8, 12]
+
+    def test_fanout_ignores_node_capacity(self):
+        snap = make_snapshot(8, [0, 50], capacity=[2, 9])
+        overlay = ChordOverlay(snap, base=4)
+        assert overlay.fanout(snap.node_at(0)) == 4
+        assert overlay.fanout(snap.node_at(50)) == 4
+
+    def test_validation(self):
+        snap = make_snapshot(8, [0], capacity=2)
+        with pytest.raises(ValueError):
+            ChordOverlay(snap, base=1)
+        with pytest.raises(ValueError):
+            overlay = ChordOverlay(snap, base=2)
+            overlay.finger_identifier(snap.node_at(0), 0, 5)
+
+
+class TestLookup:
+    def test_every_key_every_start(self):
+        snap = make_snapshot(7, [0, 5, 17, 40, 41, 90, 100, 127], capacity=2)
+        for base in (2, 3, 8):
+            overlay = ChordOverlay(snap, base=base)
+            for start in snap:
+                for key in range(128):
+                    result = overlay.lookup(start, key)
+                    assert result.responsible.ident == snap.resolve(key).ident
+
+    def test_logarithmic_hops(self):
+        rng = Random(11)
+        snap = random_snapshot(19, 4000, seed=11)
+        overlay = ChordOverlay(snap, base=2)
+        hops = []
+        for _ in range(300):
+            start = snap.random_node(rng)
+            key = rng.randrange(2**19)
+            hops.append(overlay.lookup(start, key).hops)
+        mean = sum(hops) / len(hops)
+        # classic Chord averages ~0.5 log2 n; assert a loose upper bound
+        assert mean <= 1.5 * math.log2(4000)

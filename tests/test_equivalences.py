@@ -1,0 +1,82 @@
+"""Structural equivalences the design relies on.
+
+Two deliberate degeneracies tie the baselines to the CAM systems:
+
+* base-``k`` Chord *is* CAM-Chord with every capacity pinned to ``k``
+  (same neighbor identifiers, same lookup routing, same balanced
+  multicast trees);
+* a live ``CamChordPeer`` fleet with uniform capacities *is* a live
+  Chord deployment.
+
+These tests pin the equivalences so refactors cannot silently split
+the shared arithmetic.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multicast.cam_chord import cam_chord_multicast
+from repro.overlay.cam_chord import CamChordOverlay
+from repro.overlay.chord import ChordOverlay
+from tests.conftest import make_snapshot
+
+
+def paired_overlays(idents: list[int], fanout: int):
+    snap = make_snapshot(10, idents, capacity=fanout)
+    return ChordOverlay(snap, base=fanout), CamChordOverlay(snap), snap
+
+
+class TestChordIsUniformCamChord:
+    def test_same_neighbor_identifiers(self):
+        chord, cam, snap = paired_overlays([0, 100, 400, 700, 900], fanout=4)
+        for node in snap:
+            assert sorted(chord.neighbor_identifiers(node)) == sorted(
+                cam.neighbor_identifiers(node)
+            )
+
+    def test_same_lookup_answers_and_paths(self):
+        rng = Random(1)
+        idents = sorted(rng.sample(range(1024), 60))
+        chord, cam, snap = paired_overlays(idents, fanout=5)
+        for _ in range(100):
+            start = snap.random_node(rng)
+            key = rng.randrange(1024)
+            chord_result = chord.lookup(start, key)
+            cam_result = cam.lookup(start, key)
+            assert chord_result.responsible.ident == cam_result.responsible.ident
+            assert [n.ident for n in chord_result.path] == [
+                n.ident for n in cam_result.path
+            ]
+
+    def test_same_multicast_trees(self):
+        rng = Random(2)
+        idents = sorted(rng.sample(range(1024), 80))
+        chord, cam, snap = paired_overlays(idents, fanout=6)
+        for index in (0, 20, 50):
+            source = snap.nodes[index]
+            chord_tree = cam_chord_multicast(chord, source)
+            cam_tree = cam_chord_multicast(cam, source)
+            assert chord_tree.parent == cam_tree.parent
+            assert chord_tree.depth == cam_tree.depth
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    idents=st.sets(st.integers(min_value=0, max_value=1023), min_size=2, max_size=50),
+    fanout=st.integers(min_value=2, max_value=10),
+    key=st.integers(min_value=0, max_value=1023),
+)
+def test_equivalence_property(idents, fanout, key):
+    chord, cam, snap = paired_overlays(sorted(idents), fanout)
+    start = snap.nodes[0]
+    assert (
+        chord.lookup(start, key).responsible.ident
+        == cam.lookup(start, key).responsible.ident
+    )
+    chord_tree = cam_chord_multicast(chord, start)
+    cam_tree = cam_chord_multicast(cam, start)
+    assert chord_tree.parent == cam_tree.parent

@@ -1,0 +1,65 @@
+"""Tiny-scale shape checks for the experiment modules not already
+covered by tests/test_experiments.py (their full-size assertions live
+in benchmarks/)."""
+
+from __future__ import annotations
+
+from repro.experiments import (
+    ext_geography,
+    ext_lookup,
+    ext_proximity,
+    ext_timed,
+    fig10_pathdist_cam_koorde,
+)
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale("tiny", 400, 2, 20, space_bits=12)
+
+
+def mean_hops(series) -> float:
+    total = sum(x * y for x, y in series.points)
+    count = sum(y for _, y in series.points)
+    return total / count
+
+
+class TestFig10Tiny:
+    def test_distributions_shift_left(self):
+        result = fig10_pathdist_cam_koorde.run(TINY)
+        means = {s.label: mean_hops(s) for s in result.series}
+        assert means["4"] > means["[4..20]"] > means["[4..200]"]
+
+
+class TestExtLookupTiny:
+    def test_hops_grow_sublinearly(self):
+        result = ext_lookup.run(TINY)
+        for label in ("cam-chord", "chord"):
+            ys = result.get_series(label).ys()
+            assert ys[-1] >= ys[0]
+            assert ys[-1] < 5 * max(ys[0], 1.0)
+
+
+class TestExtProximityTiny:
+    def test_pns_reduces_mean_delay(self):
+        result = ext_proximity.run(TINY)
+        default = result.get_series("default (mean, max, hops)").points
+        pns = result.get_series("pns (mean, max, hops)").points
+        default_means = [y for x, y in default if x == int(x)]
+        pns_means = [y for x, y in pns if x == int(x)]
+        assert sum(pns_means) < sum(default_means)
+
+
+class TestExtTimedTiny:
+    def test_ratio_in_unit_interval(self):
+        result = ext_timed.run(TINY)
+        for _, ratio in result.get_series("measured/analytic (long)").points:
+            assert 0.5 < ratio <= 1.0001
+
+
+class TestExtGeographyTiny:
+    def test_geographic_layout_helps(self):
+        result = ext_geography.run(TINY)
+        def mean_delay(label):
+            return sum(
+                y for x, y in result.get_series(label).points if x == int(x)
+            )
+        assert mean_delay("geographic layout") < mean_delay("random layout")

@@ -1,0 +1,110 @@
+"""Tests for the Hilbert curve and geographic identifier layout."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.geography import (
+    geographic_identifiers,
+    hilbert_index,
+    hilbert_point,
+)
+from repro.idspace.ring import IdentifierSpace
+
+
+class TestHilbertCurve:
+    def test_order1(self):
+        # the unit curve visits (0,0) (0,1) (1,1) (1,0)
+        expected = {(0, 0): 0, (0, 1): 1, (1, 1): 2, (1, 0): 3}
+        for (x, y), d in expected.items():
+            assert hilbert_index(x, y, 1) == d
+            assert hilbert_point(d, 1) == (x, y)
+
+    def test_bijective_order4(self):
+        order = 4
+        cells = (1 << order) ** 2
+        seen = set()
+        for d in range(cells):
+            x, y = hilbert_point(d, order)
+            assert hilbert_index(x, y, order) == d
+            seen.add((x, y))
+        assert len(seen) == cells
+
+    def test_curve_is_continuous(self):
+        """Consecutive curve positions are grid neighbors."""
+        order = 5
+        previous = hilbert_point(0, order)
+        for d in range(1, (1 << order) ** 2):
+            x, y = hilbert_point(d, order)
+            assert abs(x - previous[0]) + abs(y - previous[1]) == 1
+            previous = (x, y)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            hilbert_index(4, 0, 2)
+        with pytest.raises(ValueError):
+            hilbert_point(16, 2)
+
+
+@settings(max_examples=100)
+@given(
+    d=st.integers(min_value=0, max_value=(1 << 6) ** 2 - 1),
+)
+def test_hilbert_roundtrip_property(d):
+    x, y = hilbert_point(d, 6)
+    assert hilbert_index(x, y, 6) == d
+
+
+class TestGeographicIdentifiers:
+    def test_distinct_identifiers(self):
+        rng = Random(1)
+        coords = [(rng.random(), rng.random()) for _ in range(500)]
+        space = IdentifierSpace(16)
+        idents = geographic_identifiers(coords, space)
+        assert len(set(idents)) == 500
+        assert all(space.contains(i) for i in idents)
+
+    def test_locality_preserved(self):
+        """Geographically close hosts get ring-close identifiers far
+        more often than under random placement."""
+        rng = Random(2)
+        coords = [(rng.random(), rng.random()) for _ in range(400)]
+        space = IdentifierSpace(16)
+        idents = geographic_identifiers(coords, space)
+
+        def geo_distance(a, b):
+            ax, ay = coords[a]
+            bx, by = coords[b]
+            return math.hypot(ax - bx, ay - by)
+
+        # ring-successor pairs should be geographically close on average
+        order = sorted(range(400), key=lambda i: idents[i])
+        successor_distance = sum(
+            geo_distance(order[i], order[(i + 1) % 400]) for i in range(400)
+        ) / 400
+        random_pairs = [(rng.randrange(400), rng.randrange(400)) for _ in range(400)]
+        random_distance = sum(geo_distance(a, b) for a, b in random_pairs) / 400
+        assert successor_distance < random_distance / 2
+
+    def test_rejects_bad_coordinates(self):
+        space = IdentifierSpace(10)
+        with pytest.raises(ValueError, match="unit square"):
+            geographic_identifiers([(1.5, 0.2)], space)
+
+    def test_rejects_overfull(self):
+        space = IdentifierSpace(3)
+        coords = [(i / 10, i / 10) for i in range(9)]
+        with pytest.raises(ValueError, match="cannot place"):
+            geographic_identifiers(coords, space)
+
+    def test_deterministic(self):
+        coords = [(0.1, 0.9), (0.5, 0.5), (0.9, 0.1)]
+        space = IdentifierSpace(12)
+        assert geographic_identifiers(coords, space) == geographic_identifiers(
+            coords, space
+        )

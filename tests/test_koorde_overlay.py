@@ -1,0 +1,80 @@
+"""Plain Koorde baseline: de Bruijn pointers and digit-injection lookup."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+
+from repro.overlay.koorde import KoordeOverlay
+from tests.conftest import make_snapshot, random_snapshot
+
+
+class TestNeighbors:
+    def test_left_shift_identifiers(self):
+        snap = make_snapshot(6, [5, 36, 50], capacity=4)
+        overlay = KoordeOverlay(snap, degree=2)
+        # 2 * 36 mod 64 = 8 and 9
+        assert overlay.neighbor_identifiers(snap.node_at(36)) == [8, 9]
+
+    def test_neighbors_cluster_on_ring(self):
+        """The defining contrast with CAM-Koorde: Koorde's de Bruijn
+        identifiers are consecutive (differ only in low bits)."""
+        snap = make_snapshot(19, [1000, 5000], capacity=4)
+        overlay = KoordeOverlay(snap, degree=8)
+        idents = sorted(overlay.neighbor_identifiers(snap.node_at(1000)))
+        assert idents[-1] - idents[0] == 7  # 8 consecutive identifiers
+
+    def test_ring_links_included(self):
+        snap = random_snapshot(10, 40, seed=5)
+        overlay = KoordeOverlay(snap, degree=2)
+        for node in snap:
+            idents = {n.ident for n in overlay.neighbors(node)}
+            assert snap.predecessor(node).ident in idents
+            assert snap.successor(node).ident in idents
+
+    def test_validation(self):
+        snap = make_snapshot(6, [0], capacity=4)
+        with pytest.raises(ValueError):
+            KoordeOverlay(snap, degree=1)
+
+
+class TestLookup:
+    def test_every_key_every_start(self):
+        snap = make_snapshot(7, [0, 5, 17, 40, 41, 90, 100, 127], capacity=2)
+        for degree in (2, 4, 8):
+            overlay = KoordeOverlay(snap, degree=degree)
+            for start in snap:
+                for key in range(128):
+                    result = overlay.lookup(start, key)
+                    assert result.responsible.ident == snap.resolve(key).ident
+
+    def test_non_power_of_two_lookup_rejected(self):
+        snap = make_snapshot(7, [0, 5, 17], capacity=2)
+        overlay = KoordeOverlay(snap, degree=3)
+        # key 6 is not answerable from node 0's local ring links, so the
+        # lookup must actually route — which degree 3 cannot do.
+        with pytest.raises(ValueError, match="power-of-two"):
+            overlay.lookup(snap.node_at(0), 6)
+
+    def test_single_node(self):
+        snap = make_snapshot(6, [9], capacity=4)
+        overlay = KoordeOverlay(snap, degree=2)
+        assert overlay.lookup(snap.node_at(9), 3).responsible.ident == 9
+
+    def test_hops_scale_with_degree(self):
+        """Higher de Bruijn degree means fewer digit injections."""
+        rng = Random(13)
+        snap = random_snapshot(19, 3000, seed=13)
+        means = {}
+        for degree in (2, 16):
+            overlay = KoordeOverlay(snap, degree=degree)
+            hops = []
+            for _ in range(200):
+                start = snap.random_node(rng)
+                key = rng.randrange(2**19)
+                hops.append(overlay.lookup(start, key).hops)
+            means[degree] = sum(hops) / len(hops)
+        assert means[16] < means[2]
+        assert means[2] <= 2.5 * math.log2(3000)

@@ -1,0 +1,129 @@
+"""Property tests for the headline multicast invariants.
+
+Section 3.4: the recursive execution "makes sure that every member node
+will receive one and only one copy of the message", and "the outdegree
+of each intermediate node in a tree does not exceed its capacity".
+These must hold for *every* membership, *every* capacity assignment and
+*every* source — exactly what hypothesis is for.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multicast.cam_chord import cam_chord_multicast
+from repro.multicast.cam_koorde import cam_koorde_multicast
+from repro.multicast.chord_broadcast import chord_broadcast
+from repro.multicast.koorde_flood import koorde_flood
+from repro.overlay.cam_chord import CamChordOverlay
+from repro.overlay.cam_koorde import CamKoordeOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.koorde import KoordeOverlay
+from tests.conftest import make_snapshot
+
+memberships = st.sets(st.integers(min_value=0, max_value=1023), min_size=1, max_size=80)
+
+
+def build_capacities(draw_caps: list[int], count: int, floor: int) -> list[int]:
+    """Cycle the drawn capacities over the member count."""
+    return [max(floor, draw_caps[i % len(draw_caps)]) for i in range(count)]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    caps=st.lists(st.integers(min_value=2, max_value=30), min_size=1, max_size=8),
+    source_index=st.integers(min_value=0),
+)
+def test_cam_chord_exactly_once_and_capacity_bound(idents, caps, source_index):
+    ordered = sorted(idents)
+    capacities = build_capacities(caps, len(ordered), floor=2)
+    snap = make_snapshot(10, ordered, capacity=capacities)
+    overlay = CamChordOverlay(snap)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    result = cam_chord_multicast(overlay, source)
+    result.verify_exactly_once(set(ordered))
+    for ident, count in result.children_counts().items():
+        assert count <= snap.node_at(ident).capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    caps=st.lists(st.integers(min_value=4, max_value=30), min_size=1, max_size=8),
+    source_index=st.integers(min_value=0),
+)
+def test_cam_koorde_exactly_once_and_capacity_bound(idents, caps, source_index):
+    ordered = sorted(idents)
+    capacities = build_capacities(caps, len(ordered), floor=4)
+    snap = make_snapshot(10, ordered, capacity=capacities)
+    overlay = CamKoordeOverlay(snap)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    result = cam_koorde_multicast(overlay, source)
+    result.verify_exactly_once(set(ordered))
+    for ident, count in result.children_counts().items():
+        # a node forwards to at most its neighbors (= capacity links)
+        assert count <= snap.node_at(ident).capacity
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    base=st.integers(min_value=2, max_value=16),
+    source_index=st.integers(min_value=0),
+)
+def test_chord_broadcast_exactly_once(idents, base, source_index):
+    ordered = sorted(idents)
+    snap = make_snapshot(10, ordered, capacity=2)
+    overlay = ChordOverlay(snap, base=base)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    result = chord_broadcast(overlay, source)
+    result.verify_exactly_once(set(ordered))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    degree=st.sampled_from([2, 3, 4, 8, 16]),
+    source_index=st.integers(min_value=0),
+)
+def test_koorde_flood_exactly_once(idents, degree, source_index):
+    ordered = sorted(idents)
+    snap = make_snapshot(10, ordered, capacity=2)
+    overlay = KoordeOverlay(snap, degree=degree)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    result = koorde_flood(overlay, source)
+    result.verify_exactly_once(set(ordered))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    idents=st.sets(st.integers(min_value=0, max_value=1023), min_size=2, max_size=60),
+    caps=st.lists(st.integers(min_value=2, max_value=20), min_size=1, max_size=6),
+)
+def test_cam_chord_all_sources_cover_everyone(idents, caps):
+    """Any-source multicast: the invariant holds from every root."""
+    ordered = sorted(idents)
+    capacities = build_capacities(caps, len(ordered), floor=2)
+    snap = make_snapshot(10, ordered, capacity=capacities)
+    overlay = CamChordOverlay(snap)
+    members = set(ordered)
+    for source in snap.nodes:
+        cam_chord_multicast(overlay, source).verify_exactly_once(members)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    idents=st.sets(st.integers(min_value=0, max_value=1023), min_size=2, max_size=60),
+)
+def test_cam_chord_depths_consistent_with_parents(idents):
+    ordered = sorted(idents)
+    snap = make_snapshot(10, ordered, capacity=3)
+    overlay = CamChordOverlay(snap)
+    result = cam_chord_multicast(overlay, snap.nodes[0])
+    for ident, parent in result.parent.items():
+        if parent is None:
+            assert result.depth[ident] == 0
+        else:
+            assert result.depth[ident] == result.depth[parent] + 1

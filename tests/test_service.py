@@ -1,0 +1,117 @@
+"""Tests for the multi-group multicast service."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.multicast.service import MulticastService
+from repro.multicast.session import SystemKind
+
+
+def populated_service(host_count: int = 60, seed: int = 1) -> MulticastService:
+    service = MulticastService(space_bits=16)
+    rng = Random(seed)
+    for index in range(host_count):
+        service.register_host(f"host-{index}", rng.uniform(400, 1000))
+    return service
+
+
+class TestHostManagement:
+    def test_register_and_list(self):
+        service = MulticastService()
+        service.register_host("a", 500)
+        assert service.hosts == {"a": 500}
+
+    def test_duplicate_host_rejected(self):
+        service = MulticastService()
+        service.register_host("a", 500)
+        with pytest.raises(ValueError, match="already registered"):
+            service.register_host("a", 600)
+
+    def test_bad_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            MulticastService().register_host("a", 0)
+
+
+class TestGroups:
+    def test_create_and_multicast(self):
+        service = populated_service()
+        names = [f"host-{i}" for i in range(40)]
+        group = service.create_group("video", names, kind=SystemKind.CAM_CHORD)
+        assert len(group) == 40
+        result = service.multicast("video", "host-3")
+        assert result.receiver_count == 40
+
+    def test_host_in_multiple_groups_gets_distinct_identifiers(self):
+        service = populated_service()
+        service.create_group("g1", [f"host-{i}" for i in range(30)])
+        service.create_group("g2", [f"host-{i}" for i in range(30)])
+        ident_g1 = service._members["g1"]["host-0"]
+        ident_g2 = service._members["g2"]["host-0"]
+        assert ident_g1 != ident_g2  # independent hash placement
+        assert service.groups_of("host-0") == ["g1", "g2"]
+
+    def test_unknown_member_rejected(self):
+        service = populated_service()
+        with pytest.raises(KeyError, match="unregistered"):
+            service.create_group("g", ["host-0", "ghost"])
+
+    def test_duplicate_group_rejected(self):
+        service = populated_service()
+        service.create_group("g", ["host-0", "host-1"])
+        with pytest.raises(ValueError, match="already exists"):
+            service.create_group("g", ["host-2"])
+
+    def test_empty_group_rejected(self):
+        service = populated_service()
+        with pytest.raises(ValueError, match="at least one"):
+            service.create_group("g", [])
+
+    def test_drop_group(self):
+        service = populated_service()
+        service.create_group("g", ["host-0", "host-1"])
+        service.drop_group("g")
+        with pytest.raises(KeyError):
+            service.group("g")
+
+    def test_non_member_source_rejected(self):
+        service = populated_service()
+        service.create_group("g", ["host-0", "host-1"])
+        with pytest.raises(KeyError, match="not a member"):
+            service.multicast("g", "host-5")
+
+    def test_capacity_follows_host_bandwidth_and_p(self):
+        service = MulticastService(space_bits=14)
+        service.register_host("slow", 420.0)
+        service.register_host("fast", 980.0)
+        group = service.create_group(
+            "g", ["slow", "fast"], per_link_kbps=100.0
+        )
+        caps = {n.name: n.capacity for n in group.snapshot}
+        assert caps == {"slow": 4, "fast": 9}
+
+
+class TestCrossGroupAccounting:
+    def test_host_load_accumulates_across_groups(self):
+        service = populated_service()
+        service.create_group("a", [f"host-{i}" for i in range(25)])
+        service.create_group("b", [f"host-{i}" for i in range(10, 35)])
+        for _ in range(5):
+            service.multicast("a", "host-3", message_kbits=2.0)
+            service.multicast("b", "host-20", message_kbits=2.0)
+        load = service.host_load_kbits()
+        # every forwarded kilobit is charged to exactly one host
+        # (n-1 deliveries per multicast, 2 kbits each, 5 rounds, 2 groups)
+        assert sum(load.values()) == pytest.approx((24 + 24) * 2.0 * 5)
+        busiest = service.busiest_hosts(3)
+        assert len(busiest) == 3
+        assert busiest[0][1] >= busiest[1][1] >= busiest[2][1]
+
+    def test_unused_hosts_carry_nothing(self):
+        service = populated_service()
+        service.create_group("a", [f"host-{i}" for i in range(10)])
+        service.multicast("a", "host-0")
+        load = service.host_load_kbits()
+        assert load["host-59"] == 0.0

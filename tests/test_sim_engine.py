@@ -1,0 +1,237 @@
+"""Tests for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Future, FutureError, Simulator
+
+
+class TestScheduling:
+    def test_time_advances_to_event(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(5.0, lambda: fired.append(sim.now))
+        sim.run(until=10.0)
+        assert fired == [5.0]
+        assert sim.now == 10.0
+
+    def test_ordering_by_time_then_fifo(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(2.0, lambda: order.append("b"))
+        sim.call_later(1.0, lambda: order.append("a"))
+        sim.call_later(2.0, lambda: order.append("c"))  # same time as b
+        sim.run(until=5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_run_does_not_execute_future_events(self):
+        sim = Simulator()
+        fired = []
+        sim.call_later(5.0, lambda: fired.append(1))
+        sim.run(until=4.9)
+        assert fired == []
+        sim.run(until=5.0)
+        assert fired == [1]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.call_later(1.0, lambda: fired.append(1))
+        handle.cancel()
+        assert handle.cancelled
+        sim.run(until=2.0)
+        assert fired == []
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().call_later(-1, lambda: None)
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.call_later(1.0, lambda: None)
+        sim.run(until=5.0)
+        with pytest.raises(ValueError):
+            sim.call_at(4.0, lambda: None)
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n: int) -> None:
+            fired.append(n)
+            if n < 5:
+                sim.call_later(1.0, lambda: chain(n + 1))
+
+        sim.call_later(0.0, lambda: chain(0))
+        sim.run_until_idle()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert sim.events_processed == 6
+
+    def test_run_until_idle_budget(self):
+        sim = Simulator()
+
+        def forever() -> None:
+            sim.call_later(1.0, forever)
+
+        sim.call_later(0.0, forever)
+        with pytest.raises(RuntimeError, match="did not go idle"):
+            sim.run_until_idle(max_events=100)
+
+
+class TestFuture:
+    def test_resolve_and_value(self):
+        future = Future()
+        assert not future.done
+        with pytest.raises(RuntimeError):
+            _ = future.value
+        future.resolve(42)
+        assert future.done
+        assert future.value == 42
+
+    def test_fail(self):
+        future = Future()
+        future.fail("boom")
+        assert future.done and future.failed
+        with pytest.raises(FutureError, match="boom"):
+            _ = future.value
+
+    def test_double_settle_rejected(self):
+        future = Future()
+        future.resolve(1)
+        with pytest.raises(RuntimeError):
+            future.resolve(2)
+
+    def test_callback_after_settle_fires_immediately(self):
+        future = Future()
+        future.resolve("x")
+        seen = []
+        future.add_callback(lambda f: seen.append(f.value))
+        assert seen == ["x"]
+
+
+class TestProcesses:
+    def test_sleep_yields(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(("start", sim.now))
+            yield 3.0
+            log.append(("mid", sim.now))
+            yield 2.0
+            log.append(("end", sim.now))
+
+        sim.spawn(proc())
+        sim.run_until_idle()
+        assert log == [("start", 0.0), ("mid", 3.0), ("end", 5.0)]
+
+    def test_wait_on_future(self):
+        sim = Simulator()
+        future = Future()
+        got = []
+
+        def waiter():
+            value = yield future
+            got.append((value, sim.now))
+
+        sim.spawn(waiter())
+        sim.call_later(7.0, lambda: future.resolve("ready"))
+        sim.run_until_idle()
+        assert got == [("ready", 7.0)]
+
+    def test_failed_future_raises_in_process(self):
+        sim = Simulator()
+        future = Future()
+        caught = []
+
+        def waiter():
+            try:
+                yield future
+            except FutureError as exc:
+                caught.append(str(exc))
+
+        sim.spawn(waiter())
+        sim.call_later(1.0, lambda: future.fail("nope"))
+        sim.run_until_idle()
+        assert caught == ["nope"]
+
+    def test_unhandled_failure_fails_completion(self):
+        sim = Simulator()
+        future = Future()
+
+        def waiter():
+            yield future
+
+        handle = sim.spawn(waiter())
+        sim.call_later(1.0, lambda: future.fail("dead"))
+        sim.run_until_idle()
+        assert handle.completion.failed
+
+    def test_completion_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "done"
+
+        handle = sim.spawn(proc())
+        sim.run_until_idle()
+        assert handle.completion.value == "done"
+        assert not handle.alive
+
+    def test_kill(self):
+        sim = Simulator()
+        ticks = []
+
+        def proc():
+            while True:
+                ticks.append(sim.now)
+                yield 1.0
+
+        handle = sim.spawn(proc())
+        sim.run(until=3.5)
+        handle.kill()
+        sim.run(until=10.0)
+        assert ticks == [0.0, 1.0, 2.0, 3.0]
+        assert not handle.alive
+
+    def test_bad_yield_type(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a delay"
+
+        sim.spawn(proc())
+        with pytest.raises(TypeError, match="yield a delay"):
+            sim.run_until_idle()
+
+    def test_every(self):
+        sim = Simulator()
+        ticks = []
+        handle = sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        handle.kill()
+        sim.run(until=20.0)
+        assert ticks == [0.0, 2.0, 4.0, 6.0]
+
+    def test_every_validates_interval(self):
+        with pytest.raises(ValueError):
+            Simulator().every(0, lambda: None)
+
+    def test_determinism(self):
+        def run_once() -> list[tuple[str, float]]:
+            sim = Simulator()
+            log = []
+
+            def proc(name: str, period: float):
+                while sim.now < 10:
+                    log.append((name, sim.now))
+                    yield period
+
+            sim.spawn(proc("a", 1.5))
+            sim.spawn(proc("b", 2.0))
+            sim.run(until=10.0)
+            return log
+
+        assert run_once() == run_once()

@@ -1,0 +1,161 @@
+"""Tests for the simulated network and latency models."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.sim.engine import FutureError, Simulator
+from repro.sim.latency import ConstantLatency, GeographicLatency, UniformLatency
+from repro.sim.network import Message, Network
+
+
+class Recorder:
+    """Endpoint that logs everything it receives."""
+
+    def __init__(self, network: Network | None = None, address: int | None = None):
+        self.messages: list[Message] = []
+        self._network = network
+        self._address = address
+
+    def handle_message(self, message: Message) -> None:
+        self.messages.append(message)
+        if self._network is not None and message.request_id is not None:
+            self._network.respond(message, {"echo": message.payload})
+
+
+def make_net(latency=None, loss=0.0, seed=0):
+    sim = Simulator()
+    return sim, Network(sim, latency=latency, loss_rate=loss, seed=seed)
+
+
+class TestDatagrams:
+    def test_delivery_after_latency(self):
+        sim, net = make_net(latency=ConstantLatency(0.5))
+        receiver = Recorder()
+        net.register(2, receiver)
+        net.send(1, 2, "hello", {"x": 1})
+        sim.run(until=0.4)
+        assert receiver.messages == []
+        sim.run(until=0.5)
+        assert len(receiver.messages) == 1
+        assert receiver.messages[0].payload == {"x": 1}
+        assert net.stats.delivered == 1
+
+    def test_send_to_dead_host_dropped(self):
+        sim, net = make_net()
+        net.send(1, 99, "hello")
+        sim.run_until_idle()
+        assert net.stats.dropped_dead == 1
+
+    def test_unregister_drops_in_flight(self):
+        sim, net = make_net(latency=ConstantLatency(1.0))
+        receiver = Recorder()
+        net.register(2, receiver)
+        net.send(1, 2, "hello")
+        net.unregister(2)
+        sim.run_until_idle()
+        assert receiver.messages == []
+        assert net.stats.dropped_dead == 1
+
+    def test_duplicate_registration_rejected(self):
+        _, net = make_net()
+        net.register(1, Recorder())
+        with pytest.raises(ValueError):
+            net.register(1, Recorder())
+
+    def test_loss(self):
+        sim, net = make_net(loss=0.5, seed=1)
+        receiver = Recorder()
+        net.register(2, receiver)
+        for _ in range(200):
+            net.send(1, 2, "m")
+        sim.run_until_idle()
+        assert 0 < len(receiver.messages) < 200
+        assert net.stats.dropped_loss == 200 - len(receiver.messages)
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            make_net(loss=1.0)
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_loss_rate(-0.1)
+
+    def test_partition_and_heal(self):
+        sim, net = make_net()
+        receiver = Recorder()
+        net.register(2, receiver)
+        net.partition(1, 2)
+        net.send(1, 2, "lost")
+        sim.run_until_idle()
+        assert receiver.messages == []
+        assert net.stats.dropped_partition == 1
+        net.heal(1, 2)
+        net.send(1, 2, "found")
+        sim.run_until_idle()
+        assert len(receiver.messages) == 1
+
+
+class TestRequestResponse:
+    def test_round_trip(self):
+        sim, net = make_net(latency=ConstantLatency(0.1))
+        server = Recorder(network=net)
+        net.register(2, server)
+        future = net.request(1, 2, "ask", {"q": 7}, timeout=5.0)
+        sim.run_until_idle()
+        assert future.value == {"echo": {"q": 7}}
+
+    def test_timeout(self):
+        sim, net = make_net()
+        future = net.request(1, 99, "ask", timeout=2.0)
+        sim.run_until_idle()
+        assert future.failed
+        assert net.stats.timeouts == 1
+
+    def test_respond_requires_request(self):
+        _, net = make_net()
+        message = Message(1, 2, "x", None, request_id=None)
+        with pytest.raises(ValueError):
+            net.respond(message)
+
+    def test_late_reply_after_timeout_ignored(self):
+        sim, net = make_net(latency=ConstantLatency(3.0))
+        server = Recorder(network=net)
+        net.register(2, server)
+        future = net.request(1, 2, "slow", timeout=1.0)
+        sim.run_until_idle()
+        assert future.failed  # reply arrived at t=6 > timeout
+        assert net.stats.timeouts == 1
+
+
+class TestLatencyModels:
+    def test_constant(self):
+        model = ConstantLatency(0.2)
+        assert model.delay(1, 2, Random(0)) == 0.2
+        with pytest.raises(ValueError):
+            ConstantLatency(-1)
+
+    def test_uniform_range(self):
+        model = UniformLatency(0.1, 0.3)
+        rng = Random(0)
+        draws = [model.delay(1, 2, rng) for _ in range(100)]
+        assert all(0.1 <= d <= 0.3 for d in draws)
+        with pytest.raises(ValueError):
+            UniformLatency(0.3, 0.1)
+
+    def test_geographic_stable_coordinates(self):
+        model = GeographicLatency(jitter=0.0)
+        assert model.coordinates(7) == model.coordinates(7)
+        assert model.delay(1, 2, Random(0)) == model.delay(1, 2, Random(99))
+
+    def test_geographic_triangleish(self):
+        model = GeographicLatency(jitter=0.0, base=0.0)
+        # delay is symmetric and zero to itself
+        assert model.delay(3, 3, Random(0)) == 0.0
+        assert model.delay(1, 2, Random(0)) == model.delay(2, 1, Random(0))
+
+    def test_geographic_torus_distance_bounds(self):
+        model = GeographicLatency()
+        for a, b in [(1, 2), (3, 4), (100, 200)]:
+            assert 0 <= model.distance(a, b) <= (0.5**2 + 0.5**2) ** 0.5

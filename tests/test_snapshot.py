@@ -1,0 +1,139 @@
+"""Tests for the membership snapshot (resolution, neighbors, churn ops)."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.idspace.ring import IdentifierSpace
+from repro.overlay.base import Node, RingSnapshot, build_snapshot
+from tests.conftest import make_snapshot
+
+
+class TestNode:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Node(ident=-1, capacity=3)
+        with pytest.raises(ValueError):
+            Node(ident=0, capacity=0)
+        with pytest.raises(ValueError):
+            Node(ident=0, capacity=1, bandwidth_kbps=-5)
+
+    def test_repr_compact(self):
+        assert repr(Node(ident=7, capacity=3)) == "Node(7, c=3)"
+
+
+class TestRingSnapshot:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RingSnapshot(IdentifierSpace(5), [])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            make_snapshot(5, [3, 3])
+
+    def test_rejects_out_of_space(self):
+        with pytest.raises(ValueError, match="outside"):
+            make_snapshot(5, [40])
+
+    def test_resolution_basics(self, figure2_snapshot):
+        snap = figure2_snapshot
+        # x-hat: the node itself when it exists ...
+        assert snap.resolve(4).ident == 4
+        # ... otherwise the successor of the identifier.
+        assert snap.resolve(5).ident == 8
+        assert snap.resolve(27).ident == 29
+        # wraparound past the top of the space
+        assert snap.resolve(30).ident == 0
+        assert snap.resolve(31).ident == 0
+
+    def test_successor_predecessor(self, figure2_snapshot):
+        snap = figure2_snapshot
+        node0 = snap.node_at(0)
+        assert snap.successor(node0).ident == 4
+        assert snap.predecessor(node0).ident == 29
+        node29 = snap.node_at(29)
+        assert snap.successor(node29).ident == 0
+        assert snap.predecessor(node29).ident == 26
+
+    def test_single_node_ring(self):
+        snap = make_snapshot(5, [7])
+        node = snap.node_at(7)
+        assert snap.successor(node).ident == 7
+        assert snap.predecessor(node).ident == 7
+        assert snap.resolve(0).ident == 7
+
+    def test_node_at_missing(self, figure2_snapshot):
+        with pytest.raises(KeyError):
+            figure2_snapshot.node_at(5)
+
+    def test_contains_and_iter(self, figure2_snapshot):
+        assert 13 in figure2_snapshot
+        assert 14 not in figure2_snapshot
+        assert len(list(figure2_snapshot)) == len(figure2_snapshot) == 8
+
+    def test_without(self, figure2_snapshot):
+        smaller = figure2_snapshot.without([4, 13])
+        assert len(smaller) == 6
+        assert 4 not in smaller
+        assert smaller.resolve(4).ident == 8
+
+    def test_with_nodes(self, figure2_snapshot):
+        bigger = figure2_snapshot.with_nodes([Node(ident=15, capacity=3)])
+        assert len(bigger) == 9
+        assert bigger.resolve(14).ident == 15
+
+    def test_random_node_uniformish(self, figure2_snapshot):
+        rng = Random(0)
+        picks = {figure2_snapshot.random_node(rng).ident for _ in range(200)}
+        assert picks == {0, 4, 8, 13, 18, 21, 26, 29}
+
+
+class TestBuildSnapshot:
+    def test_sizes_and_determinism(self):
+        space = IdentifierSpace(12)
+        snap1 = build_snapshot(space, [3] * 100, rng=Random(5))
+        snap2 = build_snapshot(space, [3] * 100, rng=Random(5))
+        assert [n.ident for n in snap1] == [n.ident for n in snap2]
+        assert len(snap1) == 100
+
+    def test_bandwidths_attached(self):
+        space = IdentifierSpace(12)
+        snap = build_snapshot(space, [3, 4], bandwidths=[500.0, 600.0])
+        assert sorted(n.bandwidth_kbps for n in snap) == [500.0, 600.0]
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            build_snapshot(IdentifierSpace(12), [3, 4], bandwidths=[1.0])
+
+    def test_dense_ring(self):
+        space = IdentifierSpace(5)
+        snap = build_snapshot(space, [2] * 32, rng=Random(0))
+        assert len(snap) == 32
+        assert sorted(n.ident for n in snap) == list(range(32))
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            build_snapshot(IdentifierSpace(3), [2] * 9)
+
+
+@settings(max_examples=50)
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=1, max_size=40))
+def test_resolve_matches_brute_force(idents):
+    snap = make_snapshot(8, sorted(idents), capacity=4)
+    ordered = sorted(idents)
+    for key in range(256):
+        expected = next((i for i in ordered if i >= key), ordered[0])
+        assert snap.resolve(key).ident == expected
+
+
+@settings(max_examples=50)
+@given(st.sets(st.integers(min_value=0, max_value=255), min_size=2, max_size=40))
+def test_successor_predecessor_inverse(idents):
+    snap = make_snapshot(8, sorted(idents), capacity=4)
+    for node in snap:
+        assert snap.predecessor(snap.successor(node)).ident == node.ident
+        assert snap.successor(snap.predecessor(node)).ident == node.ident

@@ -1,0 +1,166 @@
+"""Tests for the timed packet-level transfer simulation."""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro.multicast.delivery import MulticastResult
+from repro.sim.transfer import (
+    analytic_bottleneck_kbps,
+    simulate_tree_transfer,
+)
+from tests.conftest import make_snapshot
+
+
+def two_level_tree() -> MulticastResult:
+    # 0 -> {10, 20}; 10 -> {30}
+    tree = MulticastResult(source_ident=0)
+    tree.record_delivery(10, 0)
+    tree.record_delivery(20, 0)
+    tree.record_delivery(30, 10)
+    return tree
+
+
+class TestSingleHop:
+    def test_one_child_times(self):
+        snap = make_snapshot(8, [0, 10], capacity=4, bandwidth=[100.0, 100.0])
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        result = simulate_tree_transfer(tree, snap, message_kbits=100, packet_count=4)
+        # full uplink to one child: 100 kbits at 100 kbps = 1 s total
+        assert result.completion_time[10] == pytest.approx(1.0)
+        # first packet (25 kbits) lands after 0.25 s
+        assert result.first_packet_time[10] == pytest.approx(0.25)
+        assert result.measured_throughput_kbps == pytest.approx(100.0)
+
+    def test_two_children_split_uplink(self):
+        snap = make_snapshot(
+            8, [0, 10, 20], capacity=4, bandwidth=[100.0, 100.0, 100.0]
+        )
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        tree.record_delivery(20, 0)
+        result = simulate_tree_transfer(tree, snap, message_kbits=100, packet_count=4)
+        # each child gets a 50-kbps share: 2 s for 100 kbits
+        assert result.completion_time[10] == pytest.approx(2.0)
+        assert result.completion_time[20] == pytest.approx(2.0)
+        assert result.measured_throughput_kbps == pytest.approx(50.0)
+
+
+class TestPipelining:
+    def test_relay_overlaps_reception(self):
+        """A relay starts forwarding after ONE packet, not the whole
+        message: total time is far below sum-of-hops."""
+        snap = make_snapshot(
+            8, [0, 10, 30], capacity=4, bandwidth=[100.0, 100.0, 100.0]
+        )
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        tree.record_delivery(30, 10)
+        many = simulate_tree_transfer(tree, snap, message_kbits=100, packet_count=100)
+        # store-and-forward of the full message would take 2.0 s; with
+        # 100-packet pipelining the second hop trails by one packet slot
+        assert many.completion_time[30] == pytest.approx(1.0 + 1.0 / 100, rel=1e-6)
+        single = simulate_tree_transfer(tree, snap, message_kbits=100, packet_count=1)
+        assert single.completion_time[30] == pytest.approx(2.0)
+
+    def test_slow_relay_throttles_subtree(self):
+        snap = make_snapshot(
+            8, [0, 10, 30], capacity=4, bandwidth=[1000.0, 50.0, 1000.0]
+        )
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        tree.record_delivery(30, 10)
+        result = simulate_tree_transfer(tree, snap, message_kbits=100, packet_count=50)
+        # node 30 receives at node 10's 50 kbps, not the source's 1000
+        assert result.member_throughput_kbps(30) == pytest.approx(50.0, rel=0.05)
+
+    def test_latency_adds_to_startup_not_rate(self):
+        snap = make_snapshot(8, [0, 10], capacity=4, bandwidth=[100.0, 100.0])
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        with_lat = simulate_tree_transfer(
+            tree, snap, message_kbits=100, packet_count=10,
+            hop_latency=lambda a, b: 0.5,
+        )
+        without = simulate_tree_transfer(
+            tree, snap, message_kbits=100, packet_count=10
+        )
+        assert with_lat.completion_time[10] == pytest.approx(
+            without.completion_time[10] + 0.5
+        )
+
+
+class TestAnalyticAgreement:
+    def test_long_message_converges_to_bottleneck(self):
+        """The headline check: measured rate -> min B_x/d_x as the
+        message grows (the Section 6.1 model is the fluid limit)."""
+        from repro.multicast.cam_chord import cam_chord_multicast
+        from repro.overlay.cam_chord import CamChordOverlay
+
+        rng = Random(5)
+        idents = sorted(rng.sample(range(1 << 12), 300))
+        caps = [rng.randint(4, 10) for _ in idents]
+        bws = [c * 100.0 + rng.uniform(0, 99) for c in caps]
+        snap = make_snapshot(12, idents, capacity=caps, bandwidth=bws)
+        overlay = CamChordOverlay(snap)
+        tree = cam_chord_multicast(overlay, snap.nodes[0])
+
+        analytic = analytic_bottleneck_kbps(tree, snap)
+        long_result = simulate_tree_transfer(
+            tree, snap, message_kbits=50_000, packet_count=64
+        )
+        assert long_result.measured_throughput_kbps == pytest.approx(
+            analytic, rel=0.15
+        )
+        # short message: propagation dominates, rate well below analytic
+        short_result = simulate_tree_transfer(
+            tree, snap, message_kbits=10, packet_count=4
+        )
+        assert short_result.measured_throughput_kbps < analytic
+
+    def test_measured_never_beats_analytic(self):
+        from repro.multicast.cam_chord import cam_chord_multicast
+        from repro.overlay.cam_chord import CamChordOverlay
+
+        rng = Random(6)
+        idents = sorted(rng.sample(range(1 << 12), 100))
+        caps = [rng.randint(2, 8) for _ in idents]
+        bws = [rng.uniform(400, 1000) for _ in idents]
+        snap = make_snapshot(12, idents, capacity=caps, bandwidth=bws)
+        overlay = CamChordOverlay(snap)
+        for index in (0, 10, 50):
+            tree = cam_chord_multicast(overlay, snap.nodes[index])
+            result = simulate_tree_transfer(
+                tree, snap, message_kbits=20_000, packet_count=32
+            )
+            assert (
+                result.measured_throughput_kbps
+                <= analytic_bottleneck_kbps(tree, snap) * 1.0001
+            )
+
+
+class TestValidation:
+    def test_bad_inputs(self):
+        snap = make_snapshot(8, [0], capacity=4, bandwidth=100.0)
+        tree = MulticastResult(source_ident=0)
+        with pytest.raises(ValueError):
+            simulate_tree_transfer(tree, snap, message_kbits=0)
+        with pytest.raises(ValueError):
+            simulate_tree_transfer(tree, snap, message_kbits=10, packet_count=0)
+
+    def test_missing_bandwidth_rejected(self):
+        snap = make_snapshot(8, [0, 10], capacity=4)  # no bandwidths
+        tree = two_level_tree()
+        snap2 = make_snapshot(8, [0, 10, 20, 30], capacity=4)
+        with pytest.raises(ValueError, match="bandwidth"):
+            simulate_tree_transfer(tree, snap2, message_kbits=10)
+
+    def test_source_only(self):
+        snap = make_snapshot(8, [0], capacity=4, bandwidth=500.0)
+        tree = MulticastResult(source_ident=0)
+        result = simulate_tree_transfer(tree, snap, message_kbits=10)
+        assert result.session_completion == 0.0
+        assert analytic_bottleneck_kbps(tree, snap) == 500.0

@@ -1,0 +1,71 @@
+"""Tests for group generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.capacity.distributions import UniformBandwidth, UniformCapacity
+from repro.workloads.groups import GroupSpec, generate_group
+
+
+class TestGroupSpec:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            GroupSpec(size=10)
+        with pytest.raises(ValueError, match="exactly one"):
+            GroupSpec(
+                size=10,
+                capacities=UniformCapacity(4, 10),
+                bandwidths=UniformBandwidth(),
+                per_link_kbps=100,
+            )
+
+    def test_bandwidth_mode_needs_p(self):
+        with pytest.raises(ValueError, match="per_link_kbps"):
+            GroupSpec(size=10, bandwidths=UniformBandwidth())
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            GroupSpec(size=0, capacities=UniformCapacity(4, 10))
+
+
+class TestGenerateGroup:
+    def test_capacity_mode(self):
+        spec = GroupSpec(size=200, space_bits=14, capacities=UniformCapacity(4, 10))
+        snap = generate_group(spec, seed=1)
+        assert len(snap) == 200
+        assert all(4 <= n.capacity <= 10 for n in snap)
+        assert all(n.bandwidth_kbps == 0.0 for n in snap)
+
+    def test_bandwidth_mode(self):
+        spec = GroupSpec(
+            size=200,
+            space_bits=14,
+            bandwidths=UniformBandwidth(400, 1000),
+            per_link_kbps=100,
+            min_capacity=4,
+        )
+        snap = generate_group(spec, seed=1)
+        for node in snap:
+            assert 400 <= node.bandwidth_kbps <= 1000
+            assert node.capacity == max(4, int(node.bandwidth_kbps // 100))
+
+    def test_min_capacity_floor(self):
+        spec = GroupSpec(
+            size=50,
+            space_bits=14,
+            capacities=UniformCapacity(1, 3),
+            min_capacity=4,
+        )
+        snap = generate_group(spec, seed=2)
+        assert all(n.capacity == 4 for n in snap)
+
+    def test_deterministic(self):
+        spec = GroupSpec(size=100, space_bits=14, capacities=UniformCapacity(4, 10))
+        first = generate_group(spec, seed=9)
+        second = generate_group(spec, seed=9)
+        assert [(n.ident, n.capacity) for n in first] == [
+            (n.ident, n.capacity) for n in second
+        ]
+        third = generate_group(spec, seed=10)
+        assert [n.ident for n in first] != [n.ident for n in third]
