@@ -1,0 +1,116 @@
+"""Core-figure timing harness: append a BENCH_core.json trajectory entry.
+
+Runs the structural figures (the harness hot paths: snapshot builds,
+tree extraction, lookups) several times each at the bench scale and
+records the **median cold** wall time per figure — caches cleared
+before every repetition — plus one **warm** re-run that shows what the
+keyed snapshot/group cache saves.  Entries append to a trajectory, so
+successive PRs can prove (or disprove) their speedups against the
+committed baseline::
+
+    PYTHONPATH=src python -m benchmarks.bench_core            # append entry
+    PYTHONPATH=src python -m benchmarks.bench_core --dry-run  # print only
+
+The figure *values* are asserted elsewhere (pytest benchmarks and
+tier-1 tests); this file measures time only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from dataclasses import asdict
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro import perf
+from repro.experiments import registry
+from repro.experiments.common import clear_caches, resolve_scale
+
+#: the structural figures that exercise the core hot paths
+CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC")
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def time_figure(name: str, scale, seed: int = 0) -> float:
+    """One cold wall-clock run of a figure (caches dropped first)."""
+    run = registry.load(name).run
+    clear_caches()
+    started = time.perf_counter()
+    run(scale, seed)
+    return time.perf_counter() - started
+
+
+def warm_figure(name: str, scale, seed: int = 0) -> float:
+    """One warm re-run: caches still hold the figure's groups."""
+    run = registry.load(name).run
+    started = time.perf_counter()
+    run(scale, seed)
+    return time.perf_counter() - started
+
+
+def measure(scale, repeats: int, seed: int = 0) -> dict:
+    """Median cold + warm seconds per core figure, with perf totals."""
+    figures: dict[str, dict[str, float]] = {}
+    before = perf.snapshot()
+    for name in CORE_FIGURES:
+        colds = [time_figure(name, scale, seed) for _ in range(repeats)]
+        warm = warm_figure(name, scale, seed)
+        figures[name] = {
+            "cold_median_s": round(statistics.median(colds), 4),
+            "warm_s": round(warm, 4),
+        }
+        print(
+            f"{name:6s} cold median {statistics.median(colds):7.3f}s  "
+            f"warm {warm:7.3f}s  ({repeats} repeats)"
+        )
+    counters = perf.since(before)
+    return {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale.name,
+        "group_size": scale.group_size,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "figures": figures,
+        "perf": asdict(counters),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bench-core",
+        description="Time the core figures and append to BENCH_core.json.",
+    )
+    parser.add_argument("--scale", default="bench", help="bench | quick | default | paper")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--dry-run", action="store_true", help="measure and print, do not write"
+    )
+    args = parser.parse_args(argv)
+
+    scale = resolve_scale(args.scale)
+    entry = measure(scale, repeats=args.repeats, seed=args.seed)
+
+    if args.dry_run:
+        print(json.dumps(entry, indent=2))
+        return 0
+
+    if args.out.exists():
+        trajectory = json.loads(args.out.read_text())
+    else:
+        trajectory = {"schema": 1, "entries": []}
+    trajectory["entries"].append(entry)
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended entry {len(trajectory['entries'])} to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

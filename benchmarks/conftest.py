@@ -14,19 +14,31 @@ import os
 
 import pytest
 
-from repro.experiments.common import SCALES, ExperimentScale
+from repro.experiments.common import SCALES, ExperimentScale, clear_caches, resolve_scale
 
 #: tuned so the full benchmark suite completes in minutes
-BENCH = ExperimentScale("bench", 2_500, 2, 40, space_bits=14)
+BENCH = SCALES["bench"]
 
 
 @pytest.fixture(scope="session")
 def scale() -> ExperimentScale:
-    """The active benchmark scale."""
+    """The active benchmark scale.
+
+    ``resolve_scale`` (rather than a raw ``SCALES[...]`` lookup) turns a
+    mistyped ``REPRO_BENCH_SCALE`` into the helpful "unknown scale ...;
+    choose from [...]" error instead of a bare ``KeyError``.
+    """
     name = os.environ.get("REPRO_BENCH_SCALE")
     if name:
-        return SCALES[name]
+        return resolve_scale(name)
     return BENCH
+
+
+@pytest.fixture(autouse=True)
+def cold_caches():
+    """Benchmarks measure cold-path cost: drop memoized groups per test."""
+    clear_caches()
+    yield
 
 
 def render(result) -> None:

@@ -1,13 +1,27 @@
-"""Shared experiment plumbing: scales, result containers, group builders."""
+"""Shared experiment plumbing: scales, results, group builders, caches.
+
+The group builders memoize their outputs in keyed caches: sweep points
+that share ``(n, space_bits, seed, distribution)`` reuse the ring and
+the bandwidth/capacity draws instead of regenerating them.  Groups are
+deterministic values of their key, so cache reuse never changes a
+result — it only skips identical work (Figure 11 re-sweeps the exact
+capacity ranges of Figures 9/10, and every Figure 7 sweep point shares
+one bandwidth draw per upper bound).
+"""
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
-from repro.capacity.distributions import CapacityDistribution, UniformBandwidth
+from repro import perf
+from repro.capacity.distributions import (
+    BandwidthDistribution,
+    CapacityDistribution,
+    UniformBandwidth,
+)
 from repro.multicast.delivery import MulticastResult
 from repro.multicast.session import MulticastGroup, SystemKind
 from repro.overlay.base import RingSnapshot
@@ -36,6 +50,7 @@ class ExperimentScale:
 # near the paper's 100,000 / 2**19 ~ 0.19 — identifier-window occupancy,
 # and with it tree fanout at the deep levels, depends on that density.
 SCALES = {
+    "bench": ExperimentScale("bench", 2_500, 2, 40, space_bits=14),
     "quick": ExperimentScale("quick", 5_000, 2, 60, space_bits=15),
     "default": ExperimentScale("default", 30_000, 3, 120, space_bits=17),
     "paper": ExperimentScale("paper", 100_000, 3, 200, space_bits=19),
@@ -101,6 +116,84 @@ class FigureResult:
         return "\n".join(lines)
 
 
+# -- deterministic per-point randomness -------------------------------------
+
+
+def point_rng(seed: int, *parts: object) -> Random:
+    """An independent, deterministic RNG stream for one sweep point.
+
+    Seeding with a string routes through SHA-512, so the stream is
+    stable across processes and platforms (no ``PYTHONHASHSEED``
+    dependence) — this is what makes parallel sweep execution
+    bit-for-bit identical to the serial run: every point draws from its
+    own stream instead of sharing one cursor with its predecessors.
+    """
+    return Random(":".join([str(seed), *map(str, parts)]))
+
+
+# -- sweepable experiments ---------------------------------------------------
+
+
+def run_sweep(
+    sweep: Callable[[ExperimentScale], Sequence[Any]],
+    run_point: Callable[[ExperimentScale, int, Any], Any],
+    assemble: Callable[[ExperimentScale, int, Sequence[Any]], FigureResult],
+    scale: ExperimentScale,
+    seed: int,
+) -> FigureResult:
+    """Serial execution of a sweep-decomposed experiment.
+
+    A figure module that defines ``sweep`` / ``run_point`` / ``assemble``
+    implements ``run`` as exactly this composition, so the parallel
+    engine (which maps ``run_point`` over worker processes and feeds the
+    ordered partials to ``assemble``) produces byte-identical output by
+    construction.
+    """
+    points = sweep(scale)
+    partials = [run_point(scale, seed, point) for point in points]
+    return assemble(scale, seed, partials)
+
+
+# -- keyed snapshot / group caches -------------------------------------------
+
+_DRAW_CACHE: dict[tuple, tuple[float, ...]] = {}
+_SNAPSHOT_CACHE: dict[tuple, RingSnapshot] = {}
+_GROUP_CACHE: dict[tuple, MulticastGroup] = {}
+
+#: caches are bounded FIFO so unbounded sweeps cannot exhaust memory
+_DRAW_CACHE_MAX = 64
+_SNAPSHOT_CACHE_MAX = 24
+_GROUP_CACHE_MAX = 32
+
+
+def clear_caches() -> None:
+    """Drop all memoized draws, snapshots and groups (tests, benchmarks)."""
+    _DRAW_CACHE.clear()
+    _SNAPSHOT_CACHE.clear()
+    _GROUP_CACHE.clear()
+
+
+def _cache_put(cache: dict, key: tuple, value: Any, maximum: int) -> None:
+    if len(cache) >= maximum:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def bandwidth_draws(
+    bandwidth: BandwidthDistribution, count: int, seed: int
+) -> tuple[float, ...]:
+    """Memoized bandwidth draws: one sample vector per (law, n, seed)."""
+    key = (bandwidth, count, seed)
+    cached = _DRAW_CACHE.get(key)
+    if cached is not None:
+        perf.COUNTERS.draw_cache_hits += 1
+        return cached
+    perf.COUNTERS.draw_cache_misses += 1
+    draws = tuple(bandwidth.sample_many(count, Random(seed)))
+    _cache_put(_DRAW_CACHE, key, draws, _DRAW_CACHE_MAX)
+    return draws
+
+
 # -- group construction -----------------------------------------------------
 
 
@@ -114,9 +207,22 @@ def bandwidth_group(
 ) -> MulticastGroup:
     """A group in the Figures 6-8 setup: capacities from bandwidths."""
     bandwidth = bandwidth if bandwidth is not None else UniformBandwidth()
-    rng = Random(seed)
-    draws = bandwidth.sample_many(scale.group_size, rng)
-    return MulticastGroup.build(
+    key = (
+        kind,
+        bandwidth,
+        per_link_kbps,
+        scale.group_size,
+        scale.space_bits,
+        uniform_fanout,
+        seed,
+    )
+    cached = _GROUP_CACHE.get(key)
+    if cached is not None:
+        perf.COUNTERS.group_cache_hits += 1
+        return cached
+    perf.COUNTERS.group_cache_misses += 1
+    draws = bandwidth_draws(bandwidth, scale.group_size, seed)
+    group = MulticastGroup.build(
         kind,
         draws,
         per_link_kbps=per_link_kbps,
@@ -124,6 +230,8 @@ def bandwidth_group(
         uniform_fanout=uniform_fanout,
         seed=seed,
     )
+    _cache_put(_GROUP_CACHE, key, group, _GROUP_CACHE_MAX)
+    return group
 
 
 def capacity_group(
@@ -140,8 +248,22 @@ def capacity_group(
         capacities=capacities,
         min_capacity=kind.min_capacity,
     )
-    snapshot = generate_group(spec, seed=seed)
-    return MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+    key = (kind, spec, uniform_fanout, seed)
+    cached = _GROUP_CACHE.get(key)
+    if cached is not None:
+        perf.COUNTERS.group_cache_hits += 1
+        return cached
+    perf.COUNTERS.group_cache_misses += 1
+    # The ring itself only depends on (spec, seed): overlays with the
+    # same capacity floor (e.g. Chord and Koorde baselines) share it.
+    snapshot_key = (spec, seed)
+    snapshot = _SNAPSHOT_CACHE.get(snapshot_key)
+    if snapshot is None:
+        snapshot = generate_group(spec, seed=seed)
+        _cache_put(_SNAPSHOT_CACHE, snapshot_key, snapshot, _SNAPSHOT_CACHE_MAX)
+    group = MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+    _cache_put(_GROUP_CACHE, key, group, _GROUP_CACHE_MAX)
+    return group
 
 
 def averaged_over_sources(

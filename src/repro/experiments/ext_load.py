@@ -46,7 +46,9 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
     trees = [group.multicast_from(source) for source in sources]
 
     flood = flooding_load(trees, message_kbits=1.0)
-    shared_tree = build_shared_tree(overlay, group_key=rng.randrange(group.overlay.space.size))
+    shared_tree = build_shared_tree(
+        overlay, group_key=rng.randrange(group.overlay.space.size)
+    )
     shared = ForwardingLoad(
         per_node=shared_tree.forwarding_load(message_count=SOURCE_COUNT)
     )

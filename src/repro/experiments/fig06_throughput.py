@@ -23,12 +23,15 @@ allocation never drops below ``p`` while a uniform fanout lets a
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import (
     ExperimentScale,
     FigureResult,
     Series,
     averaged_over_sources,
     bandwidth_group,
+    run_sweep,
 )
 from repro.metrics.throughput import sustainable_throughput
 from repro.multicast.session import SystemKind
@@ -41,33 +44,57 @@ BASELINE_FANOUT_SWEEP = (4, 8, 16, 32, 64)
 
 MEAN_BANDWIDTH = 700.0
 
+SERIES_ORDER = (
+    SystemKind.CAM_CHORD,
+    SystemKind.CAM_KOORDE,
+    SystemKind.CHORD,
+    SystemKind.KOORDE,
+)
 
-def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
-    """Regenerate the Figure 6 series (x = average fanout, y = kbps)."""
+
+def sweep(scale: ExperimentScale) -> list[tuple[SystemKind, float]]:
+    """One point per (system, sweep knob): p for CAMs, k for baselines."""
+    points: list[tuple[SystemKind, float]] = []
+    for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE):
+        points.extend((kind, per_link) for per_link in CAM_PER_LINK_SWEEP)
+    for kind in (SystemKind.CHORD, SystemKind.KOORDE):
+        points.extend((kind, float(fanout)) for fanout in BASELINE_FANOUT_SWEEP)
+    return points
+
+
+def run_point(
+    scale: ExperimentScale, seed: int, point: tuple[SystemKind, float]
+) -> tuple[str, float, float]:
+    """Measure one sweep point: (series label, x, throughput)."""
+    kind, knob = point
+    if kind.capacity_aware:
+        group = bandwidth_group(kind, scale, per_link_kbps=knob, seed=seed)
+        x = MEAN_BANDWIDTH / knob
+    else:
+        group = bandwidth_group(
+            kind, scale, per_link_kbps=100.0, uniform_fanout=int(knob), seed=seed
+        )
+        x = knob
+    throughput = averaged_over_sources(
+        group, scale, lambda r, s: sustainable_throughput(r, s)
+    )
+    return (kind.value, x, throughput)
+
+
+def assemble(
+    scale: ExperimentScale,
+    seed: int,
+    partials: Sequence[tuple[str, float, float]],
+) -> FigureResult:
+    """Collect the measured points into the Figure 6 series."""
     result = FigureResult(
         figure="fig6",
         title="Throughput (kbps) vs average number of children",
     )
-    for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE):
-        series = Series(label=kind.value)
-        for per_link in CAM_PER_LINK_SWEEP:
-            group = bandwidth_group(kind, scale, per_link_kbps=per_link, seed=seed)
-            throughput = averaged_over_sources(
-                group, scale, lambda r, s: sustainable_throughput(r, s)
-            )
-            series.add(MEAN_BANDWIDTH / per_link, throughput)
-        series.points.sort()
-        result.series.append(series)
-    for kind in (SystemKind.CHORD, SystemKind.KOORDE):
-        series = Series(label=kind.value)
-        for fanout in BASELINE_FANOUT_SWEEP:
-            group = bandwidth_group(
-                kind, scale, per_link_kbps=100.0, uniform_fanout=fanout, seed=seed
-            )
-            throughput = averaged_over_sources(
-                group, scale, lambda r, s: sustainable_throughput(r, s)
-            )
-            series.add(float(fanout), throughput)
+    per_label = {kind.value: Series(label=kind.value) for kind in SERIES_ORDER}
+    for label, x, throughput in partials:
+        per_label[label].add(x, throughput)
+    for series in per_label.values():
         series.points.sort()
         result.series.append(series)
     result.notes.append(
@@ -76,3 +103,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
         "heterogeneity ratio E[B]/min(B) = 1.75)."
     )
     return result
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 6 series (x = average fanout, y = kbps)."""
+    return run_sweep(sweep, run_point, assemble, scale, seed)

@@ -13,6 +13,8 @@ heterogeneity.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.capacity.distributions import UniformBandwidth
 from repro.experiments.common import (
     ExperimentScale,
@@ -20,6 +22,7 @@ from repro.experiments.common import (
     Series,
     averaged_over_sources,
     bandwidth_group,
+    run_sweep,
 )
 from repro.metrics.throughput import sustainable_throughput
 from repro.multicast.session import SystemKind
@@ -34,40 +37,67 @@ PAIRS = (
 )
 
 
-def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
-    """Regenerate the Figure 7 series."""
+def sweep(scale: ExperimentScale) -> list[tuple[float, int]]:
+    """One point per (bandwidth upper bound, CAM/baseline pair)."""
+    return [
+        (upper, pair_index)
+        for upper in UPPER_BOUNDS
+        for pair_index in range(len(PAIRS))
+    ]
+
+
+def run_point(
+    scale: ExperimentScale, seed: int, point: tuple[float, int]
+) -> tuple[str, float, float]:
+    """Measure one ratio point: (series label, upper bound, ratio)."""
+    upper, pair_index = point
+    cam_kind, base_kind, label = PAIRS[pair_index]
+    bandwidth = UniformBandwidth(LOWER_BOUND, upper)
+    matched_fanout = max(2, round(bandwidth.mean() / PER_LINK))
+    cam_group = bandwidth_group(
+        cam_kind, scale, per_link_kbps=PER_LINK, bandwidth=bandwidth, seed=seed
+    )
+    base_group = bandwidth_group(
+        base_kind,
+        scale,
+        per_link_kbps=PER_LINK,
+        bandwidth=bandwidth,
+        uniform_fanout=matched_fanout,
+        seed=seed,
+    )
+    cam_throughput = averaged_over_sources(
+        cam_group, scale, lambda r, s: sustainable_throughput(r, s)
+    )
+    base_throughput = averaged_over_sources(
+        base_group, scale, lambda r, s: sustainable_throughput(r, s)
+    )
+    return (label, upper, cam_throughput / base_throughput)
+
+
+def assemble(
+    scale: ExperimentScale,
+    seed: int,
+    partials: Sequence[tuple[str, float, float]],
+) -> FigureResult:
+    """Collect the ratio points plus the analytic reference curve."""
     result = FigureResult(
         figure="fig7",
         title="Throughput improvement ratio vs upload bandwidth upper bound",
     )
-    heterogeneity = Series(label="(a+b)/2a reference")
     ratio_series = {label: Series(label=label) for _, _, label in PAIRS}
+    for label, upper, ratio in partials:
+        ratio_series[label].add(upper, ratio)
+    heterogeneity = Series(label="(a+b)/2a reference")
     for upper in UPPER_BOUNDS:
-        bandwidth = UniformBandwidth(LOWER_BOUND, upper)
-        matched_fanout = max(2, round(bandwidth.mean() / PER_LINK))
-        for cam_kind, base_kind, label in PAIRS:
-            cam_group = bandwidth_group(
-                cam_kind, scale, per_link_kbps=PER_LINK, bandwidth=bandwidth, seed=seed
-            )
-            base_group = bandwidth_group(
-                base_kind,
-                scale,
-                per_link_kbps=PER_LINK,
-                bandwidth=bandwidth,
-                uniform_fanout=matched_fanout,
-                seed=seed,
-            )
-            cam_throughput = averaged_over_sources(
-                cam_group, scale, lambda r, s: sustainable_throughput(r, s)
-            )
-            base_throughput = averaged_over_sources(
-                base_group, scale, lambda r, s: sustainable_throughput(r, s)
-            )
-            ratio_series[label].add(upper, cam_throughput / base_throughput)
-        heterogeneity.add(upper, bandwidth.heterogeneity())
+        heterogeneity.add(upper, UniformBandwidth(LOWER_BOUND, upper).heterogeneity())
     result.series.extend(ratio_series.values())
     result.series.append(heterogeneity)
     result.notes.append(
         "Ratios should increase with the upper bound, tracking (a+b)/2a."
     )
     return result
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 7 series."""
+    return run_sweep(sweep, run_point, assemble, scale, seed)

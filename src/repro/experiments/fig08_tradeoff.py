@@ -13,36 +13,56 @@ a crossover in the middle (the paper's crossed near 46 kbps).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.experiments.common import (
     ExperimentScale,
     FigureResult,
     Series,
     averaged_over_sources,
     bandwidth_group,
+    run_sweep,
 )
 from repro.metrics.throughput import sustainable_throughput
 from repro.multicast.session import SystemKind
 
 PER_LINK_SWEEP = (10.0, 20.0, 30.0, 45.0, 60.0, 80.0, 100.0, 120.0, 140.0)
 
+SYSTEMS = (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
 
-def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
-    """Regenerate the Figure 8 series (x = throughput, y = path length)."""
+
+def sweep(scale: ExperimentScale) -> list[tuple[SystemKind, float]]:
+    """One point per (CAM system, per-link rate p)."""
+    return [(kind, per_link) for kind in SYSTEMS for per_link in PER_LINK_SWEEP]
+
+
+def run_point(
+    scale: ExperimentScale, seed: int, point: tuple[SystemKind, float]
+) -> tuple[str, float, float]:
+    """Measure one trade-off point: (label, throughput, path length)."""
+    kind, per_link = point
+    group = bandwidth_group(kind, scale, per_link_kbps=per_link, seed=seed)
+    throughput = averaged_over_sources(
+        group, scale, lambda r, s: sustainable_throughput(r, s)
+    )
+    path = averaged_over_sources(group, scale, lambda r, s: r.average_path_length())
+    return (kind.value, throughput, path)
+
+
+def assemble(
+    scale: ExperimentScale,
+    seed: int,
+    partials: Sequence[tuple[str, float, float]],
+) -> FigureResult:
+    """Collect the trade-off loci, sorted by throughput per system."""
     result = FigureResult(
         figure="fig8",
         title="Throughput (kbps) vs average multicast path length",
     )
-    for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE):
-        series = Series(label=kind.value)
-        for per_link in PER_LINK_SWEEP:
-            group = bandwidth_group(kind, scale, per_link_kbps=per_link, seed=seed)
-            throughput = averaged_over_sources(
-                group, scale, lambda r, s: sustainable_throughput(r, s)
-            )
-            path = averaged_over_sources(
-                group, scale, lambda r, s: r.average_path_length()
-            )
-            series.add(throughput, path)
+    per_label = {kind.value: Series(label=kind.value) for kind in SYSTEMS}
+    for label, throughput, path in partials:
+        per_label[label].add(throughput, path)
+    for series in per_label.values():
         series.points.sort()
         result.series.append(series)
     result.notes.append(
@@ -51,3 +71,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
         "CAM-Chord on the high-throughput side."
     )
     return result
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 8 series (x = throughput, y = path length)."""
+    return run_sweep(sweep, run_point, assemble, scale, seed)

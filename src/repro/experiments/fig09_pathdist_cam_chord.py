@@ -9,7 +9,7 @@ shift left as capacities grow, with rapidly diminishing returns beyond
 
 from __future__ import annotations
 
-from random import Random
+from typing import Sequence
 
 from repro.capacity.distributions import (
     CapacityDistribution,
@@ -22,6 +22,8 @@ from repro.experiments.common import (
     Series,
     capacity_group,
     merged_histogram,
+    point_rng,
+    run_sweep,
 )
 from repro.multicast.session import SystemKind
 
@@ -37,33 +39,67 @@ CAPACITY_RANGES: tuple[CapacityDistribution, ...] = (
     UniformCapacity(4, 200),
 )
 
+#: one sweep point: (figure tag, system, capacity range)
+PathDistPoint = tuple[str, SystemKind, CapacityDistribution]
 
-def run(
+
+def sweep(scale: ExperimentScale) -> list[PathDistPoint]:
+    """One point per capacity range (Figure 9: CAM-Chord)."""
+    return [("fig9", SystemKind.CAM_CHORD, d) for d in CAPACITY_RANGES]
+
+
+def run_point(
+    scale: ExperimentScale, seed: int, point: PathDistPoint
+) -> tuple[str, list[tuple[int, int]]]:
+    """One capacity range: merged path-length histogram over sources.
+
+    Source draws come from a per-point RNG stream keyed by (figure,
+    range), so every point is independent of its sweep neighbors —
+    the property that lets points run on worker processes while staying
+    bit-identical to the serial sweep.
+    """
+    figure, kind, distribution = point
+    rng = point_rng(seed, figure, kind.value, distribution)
+    group = capacity_group(kind, scale, distribution, seed=seed)
+    trees = [
+        group.multicast_from(group.random_member(rng)) for _ in range(scale.sources)
+    ]
+    histogram = merged_histogram(trees)
+    return (str(distribution), list(histogram.items()))
+
+
+def assemble(
     scale: ExperimentScale,
-    seed: int = 0,
-    kind: SystemKind = SystemKind.CAM_CHORD,
-    capacity_ranges: tuple[CapacityDistribution, ...] = CAPACITY_RANGES,
-    figure: str = "fig9",
+    seed: int,
+    partials: Sequence[tuple[str, list[tuple[int, int]]]],
 ) -> FigureResult:
-    """Regenerate the Figure 9 curves (also reused by Figure 10)."""
-    result = FigureResult(
-        figure=figure,
-        title=f"Path length distribution in {kind.value}",
-    )
-    rng = Random(seed)
-    for distribution in capacity_ranges:
-        group = capacity_group(kind, scale, distribution, seed=seed)
-        trees = [
-            group.multicast_from(group.random_member(rng))
-            for _ in range(scale.sources)
-        ]
-        histogram = merged_histogram(trees)
-        series = Series(label=str(distribution))
-        for hops, count in histogram.items():
-            series.add(float(hops), float(count))
-        result.series.append(series)
+    """Collect the per-range histograms into the Figure 9 curves."""
+    result = build_figure("fig9", SystemKind.CAM_CHORD, partials)
     result.notes.append(
         "Curves are single-peaked and shift left as the capacity range "
         "widens; improvement saturates beyond [4..10]."
     )
     return result
+
+
+def build_figure(
+    figure: str,
+    kind: SystemKind,
+    partials: Sequence[tuple[str, list[tuple[int, int]]]],
+) -> FigureResult:
+    """Shared assembly for the Figure 9/10 path-length distributions."""
+    result = FigureResult(
+        figure=figure,
+        title=f"Path length distribution in {kind.value}",
+    )
+    for label, histogram in partials:
+        series = Series(label=label)
+        for hops, count in histogram:
+            series.add(float(hops), float(count))
+        result.series.append(series)
+    return result
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 9 curves."""
+    return run_sweep(sweep, run_point, assemble, scale, seed)

@@ -12,7 +12,7 @@ CAM-Koorde shorter above ~12.
 from __future__ import annotations
 
 import math
-from random import Random
+from typing import Sequence
 
 from repro.capacity.distributions import (
     CapacityDistribution,
@@ -24,6 +24,8 @@ from repro.experiments.common import (
     FigureResult,
     Series,
     capacity_group,
+    point_rng,
+    run_sweep,
 )
 from repro.multicast.session import SystemKind
 
@@ -44,27 +46,46 @@ def theoretical_bound(mean_capacity: float, group_size: int) -> float:
     return 1.5 * math.log(group_size) / math.log(mean_capacity)
 
 
-def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
-    """Regenerate the Figure 11 series."""
+SYSTEMS = (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
+
+
+def sweep(scale: ExperimentScale) -> list[tuple[SystemKind, CapacityDistribution]]:
+    """One point per (system, capacity range)."""
+    return [(kind, d) for d in CAPACITY_RANGES for kind in SYSTEMS]
+
+
+def run_point(
+    scale: ExperimentScale,
+    seed: int,
+    point: tuple[SystemKind, CapacityDistribution],
+) -> tuple[str, float, float]:
+    """Mean multicast path length of one (system, range) pair."""
+    kind, distribution = point
+    rng = point_rng(seed, "fig11", kind.value, distribution)
+    group = capacity_group(kind, scale, distribution, seed=seed)
+    lengths = [
+        group.multicast_from(group.random_member(rng)).average_path_length()
+        for _ in range(scale.sources)
+    ]
+    return (kind.value, distribution.mean(), sum(lengths) / len(lengths))
+
+
+def assemble(
+    scale: ExperimentScale,
+    seed: int,
+    partials: Sequence[tuple[str, float, float]],
+) -> FigureResult:
+    """Collect the measured means plus the analytic bound curve."""
     result = FigureResult(
         figure="fig11",
         title="Average path length vs average node capacity",
     )
+    per_system = {kind.value: Series(label=kind.value) for kind in SYSTEMS}
+    for label, mean_capacity, mean_length in partials:
+        per_system[label].add(mean_capacity, mean_length)
     bound = Series(label="1.5*ln(n)/ln(c)")
-    per_system = {
-        kind: Series(label=kind.value)
-        for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
-    }
-    rng = Random(seed)
     for distribution in CAPACITY_RANGES:
         mean_capacity = distribution.mean()
-        for kind, series in per_system.items():
-            group = capacity_group(kind, scale, distribution, seed=seed)
-            lengths = [
-                group.multicast_from(group.random_member(rng)).average_path_length()
-                for _ in range(scale.sources)
-            ]
-            series.add(mean_capacity, sum(lengths) / len(lengths))
         bound.add(mean_capacity, theoretical_bound(mean_capacity, scale.group_size))
     result.series.extend(per_system.values())
     result.series.append(bound)
@@ -74,3 +95,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
         "(paper crossover between mean capacity 10 and 12)."
     )
     return result
+
+
+def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
+    """Regenerate the Figure 11 series."""
+    return run_sweep(sweep, run_point, assemble, scale, seed)

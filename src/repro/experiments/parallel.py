@@ -1,0 +1,135 @@
+"""Parallel experiment engine: fan sweep points out over processes.
+
+The unit of distribution is one *task*: either a whole experiment run
+(for monolithic modules such as the live-protocol churn experiments)
+or one sweep point of a sweep-decomposed figure module (``sweep`` /
+``run_point`` / ``assemble``).  Figure runs, replication seeds and
+sweep points all become tasks in one flat list, so a single
+``ProcessPoolExecutor`` keeps every core busy regardless of how the
+work is shaped.
+
+Determinism: a sweep-decomposed ``run()`` is *defined* as
+``assemble(scale, seed, [run_point(scale, seed, p) for p in sweep])``
+and every point draws from its own :func:`~repro.experiments.common.point_rng`
+stream, so executing the points on worker processes and assembling the
+ordered partials yields bit-for-bit the serial output.  The engine
+additionally runs the serial path (``jobs <= 1``) through the exact
+same task decomposition, making the equivalence testable byte for
+byte.
+
+Workers ship their :mod:`repro.perf` counter deltas back with each
+payload; the engine folds them into per-figure totals for the runner's
+perf footer.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro import perf
+from repro.experiments import registry
+from repro.experiments.common import ExperimentScale, FigureResult
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit: a whole figure or a single sweep point."""
+
+    figure: str
+    seed: int
+    point_index: int | None  # None = monolithic whole-figure run
+
+
+@dataclass
+class FigureRun:
+    """One assembled experiment result with its execution accounting.
+
+    ``work_seconds`` sums the wall-clock of the run's tasks — under
+    ``--jobs N`` the figure's elapsed wall time can be up to N times
+    smaller than its work time.
+    """
+
+    name: str
+    seed: int
+    result: FigureResult
+    counters: perf.PerfCounters
+    work_seconds: float
+
+
+def plan_tasks(
+    names: Sequence[str], scale: ExperimentScale, seeds: Sequence[int]
+) -> list[Task]:
+    """The flat task list for a batch of experiments and seeds."""
+    tasks: list[Task] = []
+    for name in names:
+        module = registry.load(name)
+        for seed in seeds:
+            if registry.is_sweepable(module):
+                count = len(module.sweep(scale))
+                tasks.extend(Task(name, seed, index) for index in range(count))
+            else:
+                tasks.append(Task(name, seed, None))
+    return tasks
+
+
+def execute_task(
+    task: Task, scale: ExperimentScale
+) -> tuple[object, perf.PerfCounters, float]:
+    """Run one task, returning (payload, perf delta, wall seconds).
+
+    Module-level so the process pool can pickle it by reference.
+    """
+    module = registry.load(task.figure)
+    before = perf.snapshot()
+    started = time.perf_counter()
+    if task.point_index is None:
+        payload: object = module.run(scale, task.seed)
+    else:
+        point = module.sweep(scale)[task.point_index]
+        payload = module.run_point(scale, task.seed, point)
+    return payload, perf.since(before), time.perf_counter() - started
+
+
+def run_experiments(
+    names: Sequence[str],
+    scale: ExperimentScale,
+    seeds: Sequence[int] = (0,),
+    jobs: int = 1,
+) -> list[FigureRun]:
+    """Run experiments over seeds, fanned over ``jobs`` processes.
+
+    Returns one :class:`FigureRun` per (name, seed), ordered name-major
+    to match the CLI argument order.  ``jobs <= 1`` executes the same
+    task plan in-process (no pool), guaranteeing identical results.
+    """
+    if not names:
+        return []
+    tasks = plan_tasks(names, scale, seeds)
+    if jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(execute_task, task, scale) for task in tasks]
+            outcomes = [future.result() for future in futures]
+    else:
+        outcomes = [execute_task(task, scale) for task in tasks]
+
+    by_task = dict(zip(tasks, outcomes))
+    runs: list[FigureRun] = []
+    for name in names:
+        module = registry.load(name)
+        for seed in seeds:
+            if registry.is_sweepable(module):
+                point_count = len(module.sweep(scale))
+                parts = [by_task[Task(name, seed, i)] for i in range(point_count)]
+                result = module.assemble(scale, seed, [p[0] for p in parts])
+            else:
+                parts = [by_task[Task(name, seed, None)]]
+                result = parts[0][0]
+            counters = perf.PerfCounters()
+            for _, delta, _ in parts:
+                counters = counters + delta
+            work = sum(duration for _, _, duration in parts)
+            runs.append(FigureRun(name, seed, result, counters, work))
+    return runs

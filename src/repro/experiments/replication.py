@@ -82,7 +82,17 @@ def replicate(
     """Run ``experiment`` once per seed and aggregate point-wise."""
     if not seeds:
         raise ValueError("need at least one seed")
-    results = [experiment(scale, seed) for seed in seeds]
+    return aggregate([experiment(scale, seed) for seed in seeds])
+
+
+def aggregate(results: Sequence[FigureResult]) -> ReplicatedResult:
+    """Point-wise mean ± sd over already-computed per-seed results.
+
+    Split out from :func:`replicate` so the parallel engine can fan the
+    per-seed runs over worker processes and aggregate afterwards.
+    """
+    if not results:
+        raise ValueError("need at least one result")
     first = results[0]
     aggregated = ReplicatedResult(
         figure=first.figure, title=first.title, runs=len(results)

@@ -3,11 +3,13 @@
 Usage::
 
     python -m repro.experiments [--scale quick|default|paper] [--seed N] \
-        [fig6 fig7 fig8 fig9 fig10 fig11 extA extB extC extD extE | all]
+        [--jobs N] [fig6 fig7 fig8 fig9 fig10 fig11 extA ... extI | all]
 
 Each figure prints its series as aligned (x, y) tables — the rows the
 paper plots — plus shape notes.  ``--out DIR`` additionally writes one
-``<figure>.txt`` per result.
+``<figure>.txt`` per result.  ``--jobs N`` fans figure runs,
+replication seeds and per-figure sweep points out over N worker
+processes; the tables are bit-for-bit identical to the serial run.
 """
 
 from __future__ import annotations
@@ -18,41 +20,14 @@ import time
 from pathlib import Path
 from typing import Callable
 
-from repro.experiments import (
-    fig06_throughput,
-    fig07_ratio,
-    fig08_tradeoff,
-    fig09_pathdist_cam_chord,
-    fig10_pathdist_cam_koorde,
-    fig11_avg_path_length,
-    ext_balance,
-    ext_churn,
-    ext_load,
-    ext_lookup,
-    ext_proximity,
-    ext_geography,
-    ext_reliability,
-    ext_sessions,
-    ext_timed,
-)
+from repro.experiments import registry
 from repro.experiments.common import ExperimentScale, FigureResult, resolve_scale
+from repro.experiments.parallel import run_experiments
 
+#: name -> run callable (kept as a mapping for backwards compatibility
+#: with library users and tests; the registry is the source of truth).
 EXPERIMENTS: dict[str, Callable[[ExperimentScale, int], FigureResult]] = {
-    "fig6": fig06_throughput.run,
-    "fig7": fig07_ratio.run,
-    "fig8": fig08_tradeoff.run,
-    "fig9": fig09_pathdist_cam_chord.run,
-    "fig10": fig10_pathdist_cam_koorde.run,
-    "fig11": fig11_avg_path_length.run,
-    "extA": ext_churn.run,
-    "extB": ext_load.run,
-    "extC": ext_lookup.run,
-    "extD": ext_proximity.run,
-    "extE": ext_balance.run,
-    "extF": ext_reliability.run,
-    "extG": ext_geography.run,
-    "extH": ext_timed.run,
-    "extI": ext_sessions.run,
+    name: registry.load(name).run for name in registry.REGISTRY
 }
 
 
@@ -66,13 +41,20 @@ def main(argv: list[str] | None = None) -> int:
         "figures",
         nargs="*",
         default=["all"],
-        help=f"which experiments to run: {', '.join(EXPERIMENTS)} or 'all'",
+        help=f"which experiments to run: {', '.join(registry.REGISTRY)} or 'all'",
     )
-    parser.add_argument("--scale", default=None, help="quick | default | paper")
+    parser.add_argument("--scale", default=None, help="bench | quick | default | paper")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--out", type=Path, default=None, help="directory for .txt dumps")
     parser.add_argument(
         "--plot", action="store_true", help="also draw ASCII charts of each figure"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for figure/seed/sweep-point fan-out (default: serial)",
     )
     parser.add_argument(
         "--replicate",
@@ -81,37 +63,69 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="run each experiment over N seeds and report mean ± sd",
     )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the experiment names with descriptions and exit",
+    )
     args = parser.parse_args(argv)
+    if args.list:
+        width = max(len(name) for name in registry.REGISTRY)
+        for info in registry.REGISTRY.values():
+            print(f"{info.name:<{width}}  {info.description}")
+        return 0
     if args.replicate < 1:
         parser.error("--replicate must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
 
-    names = list(EXPERIMENTS) if "all" in args.figures else args.figures
-    unknown = [name for name in names if name not in EXPERIMENTS]
+    names = list(registry.REGISTRY) if "all" in args.figures else args.figures
+    unknown = [name for name in names if name not in registry.REGISTRY]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; choose from {list(EXPERIMENTS)}")
+        parser.error(
+            f"unknown experiments: {unknown}; choose from {list(registry.REGISTRY)}"
+        )
 
     scale = resolve_scale(args.scale)
     print(f"# scale={scale.name} n={scale.group_size} sources={scale.sources}")
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for name in names:
-        started = time.time()
-        if args.replicate > 1:
-            from repro.experiments.replication import replicate
 
-            seeds = [args.seed + offset for offset in range(args.replicate)]
-            rendered = replicate(EXPERIMENTS[name], scale, seeds).render()
+    total_started = time.time()
+    seeds = [args.seed + offset for offset in range(args.replicate)]
+    runs = run_experiments(names, scale, seeds=seeds, jobs=args.jobs)
+    by_name: dict[str, list] = {}
+    for run in runs:
+        by_name.setdefault(run.name, []).append(run)
+
+    for name in names:
+        figure_runs = by_name[name]
+        if args.replicate > 1:
+            from repro.experiments.replication import aggregate
+
+            rendered = aggregate([run.result for run in figure_runs]).render()
         else:
-            result = EXPERIMENTS[name](scale, args.seed)
+            result = figure_runs[0].result
             rendered = result.render()
             if args.plot:
                 from repro.viz.ascii_chart import render_figure
 
                 rendered += "\n" + render_figure(result)
         print(rendered)
-        print(f"# {name} done in {time.time() - started:.1f}s\n")
+        counters = figure_runs[0].counters
+        work = figure_runs[0].work_seconds
+        for run in figure_runs[1:]:
+            counters = counters + run.counters
+            work += run.work_seconds
+        print(f"# {name} done: work={work:.1f}s {counters.summary()}\n")
         if args.out is not None:
             (args.out / f"{name}.txt").write_text(rendered + "\n")
+
+    elapsed = time.time() - total_started
+    print(
+        f"# total: {len(names)} experiment(s) x {args.replicate} seed(s) "
+        f"in {elapsed:.1f}s (jobs={args.jobs})"
+    )
     return 0
 
 

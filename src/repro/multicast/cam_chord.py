@@ -35,6 +35,7 @@ import math
 from collections import deque
 from typing import Callable
 
+from repro import perf
 from repro.idspace.ring import segment_contains, segment_size
 from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import Node
@@ -120,14 +121,22 @@ def select_children(overlay, node: Node, limit: int) -> list[tuple[Node, int]]:
     multicast the paper's Figure 6 evaluates under the name "Chord".
     """
     snapshot = overlay.snapshot
+    members = snapshot.nodes
+    resolve_index = snapshot.resolve_index
+    resolved: dict[int, Node] = {}
 
     def resolver(level: int, sequence: int, identifier: int) -> int:
-        return snapshot.resolve(identifier).ident
+        # resolve_index avoids the ident->Node dict hop on the way out:
+        # the node is remembered here, keyed by the ident the region
+        # arithmetic works with.
+        member = members[resolve_index(identifier)]
+        resolved[member.ident] = member
+        return member.ident
 
     regions = select_child_regions(
         node.ident, overlay.fanout(node), overlay.space.bits, limit, resolver
     )
-    return [(snapshot.node_at(child), sublimit) for child, sublimit in regions]
+    return [(resolved[child], sublimit) for child, sublimit in regions]
 
 
 def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
@@ -151,4 +160,6 @@ def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
         for child, sublimit in select_children(overlay, node, limit):
             result.record_delivery(child.ident, node.ident)
             queue.append((child, sublimit))
+    perf.COUNTERS.multicast_trees += 1
+    perf.COUNTERS.deliveries += result.messages_sent
     return result

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
+from repro import perf
 from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import Node, Overlay
 from repro.overlay.cam_koorde import CamKoordeOverlay
@@ -51,6 +52,8 @@ def flood_multicast(
             queue.append(neighbor)
             if budget is not None:
                 budget -= 1
+    perf.COUNTERS.multicast_trees += 1
+    perf.COUNTERS.deliveries += result.messages_sent
     return result
 
 

@@ -10,12 +10,14 @@ what makes the paper's scale tractable in pure Python.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from bisect import bisect_left, insort
+from array import array
+from bisect import bisect_left, bisect_right, insort
 from dataclasses import dataclass, field
 from random import Random
 from typing import Iterable, Iterator, Sequence
 
-from repro.idspace.ring import IdentifierSpace, segment_contains
+from repro import perf
+from repro.idspace.ring import IdentifierSpace
 
 
 @dataclass(frozen=True)
@@ -46,25 +48,48 @@ class Node:
 
 
 class RingSnapshot:
-    """An immutable membership view with O(log n) identifier resolution."""
+    """An immutable membership view with O(log n) identifier resolution.
+
+    Identifiers are kept in a compact ``array('Q')`` alongside the node
+    tuple: the bisect in :meth:`resolve_index` then scans a contiguous
+    machine-word buffer instead of chasing ``PyObject`` pointers, which
+    is what keeps tree extraction cache-friendly at n = 100,000.
+    """
 
     def __init__(self, space: IdentifierSpace, nodes: Iterable[Node]) -> None:
         ordered = sorted(nodes, key=lambda node: node.ident)
-        idents = [node.ident for node in ordered]
         for node in ordered:
             if not space.contains(node.ident):
                 raise ValueError(
                     f"identifier {node.ident} outside space of {space.size}"
                 )
-        for prev, here in zip(idents, idents[1:]):
-            if prev == here:
-                raise ValueError(f"duplicate identifier on the ring: {here}")
+        for prev, here in zip(ordered, ordered[1:]):
+            if prev.ident == here.ident:
+                raise ValueError(f"duplicate identifier on the ring: {here.ident}")
         if not ordered:
             raise ValueError("a ring snapshot needs at least one node")
+        self._init_from_sorted(space, ordered)
+
+    def _init_from_sorted(self, space: IdentifierSpace, ordered: list[Node]) -> None:
         self._space = space
         self._nodes: Sequence[Node] = tuple(ordered)
-        self._idents: Sequence[int] = tuple(idents)
+        self._idents = array("Q", [node.ident for node in ordered])
         self._by_ident = {node.ident: node for node in ordered}
+
+    @classmethod
+    def _from_sorted(cls, space: IdentifierSpace, ordered: list[Node]) -> "RingSnapshot":
+        """Fast constructor for members already sorted and validated.
+
+        Used by :meth:`without` / :meth:`with_nodes`, which derive new
+        views from an existing (already checked) snapshot — the churn
+        runner calls these once per membership event, so skipping the
+        O(n log n) re-sort matters.
+        """
+        if not ordered:
+            raise ValueError("a ring snapshot needs at least one node")
+        snapshot = cls.__new__(cls)
+        snapshot._init_from_sorted(space, ordered)
+        return snapshot
 
     @property
     def space(self) -> IdentifierSpace:
@@ -85,6 +110,11 @@ class RingSnapshot:
         """All members in identifier order."""
         return self._nodes
 
+    @property
+    def identifiers(self) -> Sequence[int]:
+        """All member identifiers in ring order (compact, read-only)."""
+        return self._idents
+
     def node_at(self, ident: int) -> Node:
         """Return the member with exactly this identifier."""
         try:
@@ -92,16 +122,26 @@ class RingSnapshot:
         except KeyError:
             raise KeyError(f"no node with identifier {ident}") from None
 
+    def resolve_index(self, ident: int) -> int:
+        """Index (into :attr:`nodes`) of the node responsible for ``ident``.
+
+        The index form lets tree extraction and neighbor resolution go
+        straight from identifier to node position without a second
+        dict hop through :meth:`node_at`.
+        """
+        perf.COUNTERS.resolves += 1
+        position = bisect_left(self._idents, ident % self._space.size)
+        if position == len(self._idents):
+            return 0
+        return position
+
     def resolve(self, ident: int) -> Node:
         """The paper's ``x-hat``: the node responsible for ``ident``.
 
         That is the node at ``ident`` itself or, failing that, the first
         node clockwise after it (``successor(ident)``).
         """
-        position = bisect_left(self._idents, ident % self._space.size)
-        if position == len(self._idents):
-            position = 0
-        return self._nodes[position]
+        return self._nodes[self.resolve_index(ident)]
 
     def successor(self, node: Node) -> Node:
         """The next member strictly clockwise of ``node``."""
@@ -129,27 +169,70 @@ class RingSnapshot:
         span = (y - x) % size
         if span == 0:
             return []
-        out: list[Node] = []
-        position = bisect_left(self._idents, (x + 1) % size)
-        total = len(self._nodes)
-        for step in range(total):
-            node = self._nodes[(position + step) % total]
-            if not segment_contains(node.ident, x, y, size):
-                break
-            out.append(node)
-            if limit is not None and len(out) >= limit:
-                break
+        start = (x + 1) % size
+        end = y % size
+        idents = self._idents
+        total = len(idents)
+        # Both segment boundaries become index ranges via bisect, so the
+        # scan touches exactly the members inside (x, y] and — by
+        # construction — never walks the ring more than one full wrap,
+        # even for pathological spans covering the whole ring minus the
+        # probe start.
+        low = bisect_left(idents, start)
+        high = bisect_right(idents, end)
+        if start <= end:
+            indices: Iterable[int] = range(low, high)
+        else:  # the segment wraps past zero: [start, N) then [0, end]
+            indices = (*range(low, total), *range(0, high))
+        nodes = self._nodes
+        out = [nodes[index] for index in indices]
+        if limit is not None:
+            del out[limit:]
         return out
 
     def without(self, idents: Iterable[int]) -> "RingSnapshot":
-        """A new snapshot with the given members removed (churn support)."""
+        """A new snapshot with the given members removed (churn support).
+
+        Filtering preserves identifier order, so the derived snapshot
+        skips the constructor's re-sort and re-validation.
+        """
         gone = set(idents)
         survivors = [node for node in self._nodes if node.ident not in gone]
-        return RingSnapshot(self._space, survivors)
+        return RingSnapshot._from_sorted(self._space, survivors)
 
     def with_nodes(self, nodes: Iterable[Node]) -> "RingSnapshot":
-        """A new snapshot with the given members added (churn support)."""
-        return RingSnapshot(self._space, list(self._nodes) + list(nodes))
+        """A new snapshot with the given members added (churn support).
+
+        The existing members are already sorted, so only the (typically
+        few) additions are sorted and the two runs are merged — O(n + m
+        log m) instead of re-sorting the whole ring.
+        """
+        additions = sorted(nodes, key=lambda node: node.ident)
+        for node in additions:
+            if not self._space.contains(node.ident):
+                raise ValueError(
+                    f"identifier {node.ident} outside space of {self._space.size}"
+                )
+        for prev, here in zip(additions, additions[1:]):
+            if prev.ident == here.ident:
+                raise ValueError(f"duplicate identifier on the ring: {here.ident}")
+        merged: list[Node] = []
+        existing = self._nodes
+        i = j = 0
+        while i < len(existing) and j < len(additions):
+            if existing[i].ident == additions[j].ident:
+                raise ValueError(
+                    f"duplicate identifier on the ring: {additions[j].ident}"
+                )
+            if existing[i].ident < additions[j].ident:
+                merged.append(existing[i])
+                i += 1
+            else:
+                merged.append(additions[j])
+                j += 1
+        merged.extend(existing[i:])
+        merged.extend(additions[j:])
+        return RingSnapshot._from_sorted(self._space, merged)
 
 
 @dataclass
@@ -206,10 +289,13 @@ class Overlay(ABC):
         cached = self._neighbor_cache.get(node.ident)
         if cached is not None:
             return cached
+        snapshot = self._snapshot
+        members = snapshot.nodes
+        resolve_index = snapshot.resolve_index
         seen: set[int] = set()
         out: list[Node] = []
         for ident in self.neighbor_identifiers(node):
-            resolved = self._snapshot.resolve(ident)
+            resolved = members[resolve_index(ident)]
             if resolved.ident == node.ident or resolved.ident in seen:
                 continue
             seen.add(resolved.ident)

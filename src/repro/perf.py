@@ -1,0 +1,102 @@
+"""Lightweight performance observability: wall timers + hot-path counters.
+
+The experiment harness spends nearly all of its time in two loops —
+identifier resolution (one bisect per neighbor identifier) and implicit
+tree extraction (one resolution sweep per member).  This module keeps a
+process-global :class:`PerfCounters` that those hot paths increment,
+so the experiment runner can print, per figure, how much resolution and
+multicast work actually happened and how often the snapshot/group
+caches saved a rebuild.
+
+Counters are plain integer attributes on one module-level instance:
+cheap enough to leave permanently enabled (an increment costs well
+under a tenth of the bisect it accompanies).  Parallel workers each
+own a fork of the counter state; the engine snapshots around every
+task and ships the *delta* back with the task result, so per-figure
+totals add up correctly across processes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, fields, replace
+
+
+@dataclass
+class PerfCounters:
+    """Cumulative hot-path event counts for one process.
+
+    ``resolves`` counts :meth:`RingSnapshot.resolve_index` calls (every
+    ``resolve`` funnels through it); ``multicast_trees`` full implicit
+    tree extractions; ``deliveries`` tree edges recorded.  The cache
+    pairs track the keyed snapshot/group cache in
+    ``repro.experiments.common``.
+    """
+
+    resolves: int = 0
+    multicast_trees: int = 0
+    deliveries: int = 0
+    group_cache_hits: int = 0
+    group_cache_misses: int = 0
+    draw_cache_hits: int = 0
+    draw_cache_misses: int = 0
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __sub__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def summary(self) -> str:
+        """One compact report line (used in the runner footer)."""
+        return (
+            f"resolves={self.resolves} trees={self.multicast_trees} "
+            f"deliveries={self.deliveries} "
+            f"cache[group {self.group_cache_hits}h/{self.group_cache_misses}m "
+            f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m]"
+        )
+
+
+#: The process-global counter block the hot paths increment.
+COUNTERS = PerfCounters()
+
+
+def snapshot() -> PerfCounters:
+    """An immutable copy of the current counter values."""
+    return replace(COUNTERS)
+
+
+def since(start: PerfCounters) -> PerfCounters:
+    """Counter deltas accumulated after ``start`` was snapshotted."""
+    return snapshot() - start
+
+
+def reset() -> None:
+    """Zero all counters (tests and benchmark harness)."""
+    for f in fields(COUNTERS):
+        setattr(COUNTERS, f.name, 0)
+
+
+class StopWatch:
+    """Context-manager wall-clock timer (monotonic)."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "StopWatch":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._started

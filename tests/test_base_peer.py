@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.idspace.ring import IdentifierSpace
 from repro.protocol.base_peer import BasePeer

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import math
-from random import Random
 
 from repro.multicast.chord_broadcast import (
     chord_broadcast,

@@ -7,7 +7,6 @@ from random import Random
 import pytest
 
 from repro.protocol import Cluster, KoordePeer
-from repro.protocol.config import ProtocolConfig
 
 
 def make_cluster(count: int, degree: int = 4, seed: int = 1, bits: int = 12) -> Cluster:

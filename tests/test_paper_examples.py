@@ -18,7 +18,6 @@ from repro.multicast.cam_chord import cam_chord_multicast, select_children
 from repro.multicast.cam_koorde import cam_koorde_multicast
 from repro.overlay.cam_chord import CamChordOverlay, level_and_sequence
 from repro.overlay.cam_koorde import CamKoordeOverlay, cam_koorde_neighbor_groups
-from tests.conftest import make_snapshot
 
 
 class TestFigure2Neighbors:

@@ -1,0 +1,184 @@
+"""Tests for the parallel experiment engine, caches and perf counters.
+
+The headline guarantee is byte-for-byte equivalence: ``--jobs N`` must
+produce exactly the serial output, because a sweep-decomposed ``run()``
+*is* ``assemble(scale, seed, [run_point(...) for point in sweep])`` and
+every point draws from its own RNG stream.
+"""
+
+from __future__ import annotations
+
+from random import Random
+
+import pytest
+
+from repro import perf
+from repro.capacity.distributions import UniformBandwidth, UniformCapacity
+from repro.experiments import registry
+from repro.experiments.common import (
+    SCALES,
+    bandwidth_draws,
+    capacity_group,
+    clear_caches,
+    point_rng,
+)
+from repro.experiments.parallel import Task, plan_tasks, run_experiments
+from repro.experiments.runner import main
+from repro.multicast.session import SystemKind
+
+QUICK = SCALES["quick"]
+
+
+class TestPointRng:
+    def test_deterministic_and_independent(self):
+        a = point_rng(0, "fig9", "cam-chord", 4)
+        b = point_rng(0, "fig9", "cam-chord", 4)
+        c = point_rng(0, "fig9", "cam-chord", 5)
+        draws_a = [a.random() for _ in range(5)]
+        assert draws_a == [b.random() for _ in range(5)]
+        assert draws_a != [c.random() for _ in range(5)]
+
+    def test_seed_separates_streams(self):
+        assert point_rng(0, "x").random() != point_rng(1, "x").random()
+
+
+class TestPlanTasks:
+    def test_sweepable_fans_into_points(self):
+        module = registry.load("fig7")
+        assert registry.is_sweepable(module)
+        tasks = plan_tasks(["fig7"], QUICK, seeds=[0, 1])
+        points = len(module.sweep(QUICK))
+        assert len(tasks) == 2 * points
+        assert Task("fig7", 1, points - 1) in tasks
+
+    def test_monolithic_stays_whole(self):
+        monolithic = [
+            name
+            for name in registry.REGISTRY
+            if not registry.is_sweepable(registry.load(name))
+        ]
+        assert monolithic, "expected at least one monolithic experiment"
+        name = monolithic[0]
+        tasks = plan_tasks([name], QUICK, seeds=[0])
+        assert tasks == [Task(name, 0, None)]
+
+
+class TestParallelEquivalence:
+    """jobs > 1 output must equal the serial output byte for byte."""
+
+    def test_extc_parallel_matches_serial(self):
+        serial = run_experiments(["extC"], QUICK, seeds=[0], jobs=1)
+        fanned = run_experiments(["extC"], QUICK, seeds=[0], jobs=4)
+        assert serial[0].result.render() == fanned[0].result.render()
+
+    def test_fig7_cli_parallel_matches_serial(self, tmp_path):
+        serial_dir = tmp_path / "serial"
+        fanned_dir = tmp_path / "fanned"
+        assert main(["fig7", "--scale", "quick", "--out", str(serial_dir)]) == 0
+        assert (
+            main(["fig7", "--scale", "quick", "--jobs", "4", "--out", str(fanned_dir)])
+            == 0
+        )
+        serial_bytes = (serial_dir / "fig7.txt").read_bytes()
+        fanned_bytes = (fanned_dir / "fig7.txt").read_bytes()
+        assert serial_bytes == fanned_bytes
+
+    def test_replication_seeds_fan_out(self):
+        serial = run_experiments(["extC"], QUICK, seeds=[0, 1], jobs=1)
+        fanned = run_experiments(["extC"], QUICK, seeds=[0, 1], jobs=2)
+        assert [run.seed for run in serial] == [0, 1]
+        for one, other in zip(serial, fanned):
+            assert one.result.render() == other.result.render()
+
+    def test_run_matches_engine_serial_path(self):
+        """module.run() and the task-decomposed path agree exactly."""
+        direct = registry.load("extC").run(QUICK, 0)
+        engine = run_experiments(["extC"], QUICK, seeds=[0], jobs=1)[0].result
+        assert direct.render() == engine.render()
+
+
+class TestCaches:
+    @pytest.fixture(autouse=True)
+    def fresh(self):
+        clear_caches()
+        yield
+        clear_caches()
+
+    def test_bandwidth_draws_memoized(self):
+        law = UniformBandwidth()
+        before = perf.snapshot()
+        first = bandwidth_draws(law, 500, seed=3)
+        second = bandwidth_draws(law, 500, seed=3)
+        delta = perf.since(before)
+        assert first is second
+        assert (delta.draw_cache_misses, delta.draw_cache_hits) == (1, 1)
+        assert bandwidth_draws(law, 500, seed=4) is not first
+
+    def test_capacity_group_memoized_and_rebuild_identical(self):
+        tiny = SCALES["bench"]
+        law = UniformCapacity(4, 10)
+        group = capacity_group(SystemKind.CAM_CHORD, tiny, law, seed=0)
+        assert capacity_group(SystemKind.CAM_CHORD, tiny, law, seed=0) is group
+        clear_caches()
+        rebuilt = capacity_group(SystemKind.CAM_CHORD, tiny, law, seed=0)
+        assert rebuilt is not group
+        assert list(rebuilt.snapshot.identifiers) == list(group.snapshot.identifiers)
+        source = group.random_member(Random(1))
+        resent = rebuilt.snapshot.node_at(source.ident)
+        assert (
+            group.multicast_from(source).messages_sent
+            == rebuilt.multicast_from(resent).messages_sent
+        )
+
+    def test_snapshot_shared_across_kinds_with_same_floor(self):
+        tiny = SCALES["bench"]
+        law = UniformCapacity(4, 10)
+        assert SystemKind.CHORD.min_capacity == SystemKind.KOORDE.min_capacity
+        chord = capacity_group(SystemKind.CHORD, tiny, law, seed=0)
+        koorde = capacity_group(SystemKind.KOORDE, tiny, law, seed=0)
+        assert chord is not koorde
+        assert chord.snapshot is koorde.snapshot
+
+
+class TestPerfCounters:
+    def test_add_sub_roundtrip(self):
+        a = perf.PerfCounters(resolves=3, deliveries=10)
+        b = perf.PerfCounters(resolves=1, deliveries=4, multicast_trees=1)
+        total = a + b
+        assert total.resolves == 4 and total.deliveries == 14
+        assert (total - b) == a
+
+    def test_counters_move_during_multicast(self):
+        clear_caches()
+        tiny = SCALES["bench"]
+        group = capacity_group(
+            SystemKind.CAM_CHORD, tiny, UniformCapacity(4, 10), seed=0
+        )
+        before = perf.snapshot()
+        group.multicast_from(group.random_member(Random(0)))
+        delta = perf.since(before)
+        assert delta.multicast_trees == 1
+        assert delta.deliveries == len(group.snapshot) - 1
+        assert delta.resolves > 0
+        assert "trees=1" in delta.summary()
+
+
+class TestRunnerCli:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line.strip()]
+        assert len(lines) == len(registry.REGISTRY)
+        assert any(line.startswith("fig6 ") for line in lines)
+        assert any(line.startswith("extI ") for line in lines)
+
+    def test_footer_reports_totals(self, capsys):
+        assert main(["extC", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "# extC done: work=" in out
+        assert "# total: 1 experiment(s) x 1 seed(s)" in out
+        assert "(jobs=1)" in out
+
+    def test_jobs_rejects_zero(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["extC", "--jobs", "0"])

@@ -6,7 +6,7 @@ from random import Random
 
 import pytest
 
-from repro.sim.engine import FutureError, Simulator
+from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, GeographicLatency, UniformLatency
 from repro.sim.network import Message, Network
 

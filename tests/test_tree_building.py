@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from random import Random
 
 import pytest
 from hypothesis import given, settings
