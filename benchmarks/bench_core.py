@@ -29,9 +29,13 @@ from pathlib import Path
 from repro import perf
 from repro.experiments import registry
 from repro.experiments.common import clear_caches, resolve_scale
+from repro.trace.tracer import TRACER
 
 #: the structural figures that exercise the core hot paths
 CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC")
+
+#: representative figure for the tracing-overhead measurement
+TRACING_FIGURE = "fig9"
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
@@ -53,6 +57,39 @@ def warm_figure(name: str, scale, seed: int = 0) -> float:
     return time.perf_counter() - started
 
 
+def measure_tracing(scale, repeats: int, seed: int = 0) -> dict:
+    """Disabled vs enabled tracing cost on one representative figure.
+
+    Every hot path carries a permanent ``if TRACER.enabled`` guard;
+    ``disabled_median_s`` measures what that guard costs when tracing
+    is off (the number that must stay within noise of the pre-tracing
+    baseline), ``enabled_median_s`` what buffering events costs when
+    it is on.
+    """
+    disabled = [time_figure(TRACING_FIGURE, scale, seed) for _ in range(repeats)]
+    enabled: list[float] = []
+    try:
+        for _ in range(repeats):
+            TRACER.enable()  # reset: don't let buffers accumulate
+            enabled.append(time_figure(TRACING_FIGURE, scale, seed))
+        events = len(TRACER)
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+    disabled_median = statistics.median(disabled)
+    enabled_median = statistics.median(enabled)
+    print(
+        f"tracing[{TRACING_FIGURE}] disabled median {disabled_median:7.3f}s  "
+        f"enabled {enabled_median:7.3f}s  ({events} events/run)"
+    )
+    return {
+        "figure": TRACING_FIGURE,
+        "disabled_median_s": round(disabled_median, 4),
+        "enabled_median_s": round(enabled_median, 4),
+        "events_per_run": events,
+    }
+
+
 def measure(scale, repeats: int, seed: int = 0) -> dict:
     """Median cold + warm seconds per core figure, with perf totals."""
     figures: dict[str, dict[str, float]] = {}
@@ -69,6 +106,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
             f"warm {warm:7.3f}s  ({repeats} repeats)"
         )
     counters = perf.since(before)
+    tracing = measure_tracing(scale, repeats, seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "scale": scale.name,
@@ -77,6 +115,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "figures": figures,
+        "tracing": tracing,
         "perf": asdict(counters),
     }
 

@@ -23,19 +23,27 @@ class ResilienceReport:
     ring_consistency_samples: list[bool] = field(default_factory=list)
     final_membership: int = 0
     path_lengths: list[int] = field(default_factory=list)
+    #: Per-message-kind drop/timeout accounting from the network layer
+    #: (:meth:`repro.sim.network.NetworkStats.by_kind_summary`).
+    network_summary: str = ""
 
     @property
     def mean_delivery_ratio(self) -> float:
-        """Average delivery ratio over all multicasts."""
+        """Average delivery ratio over all multicasts.
+
+        NaN when the run measured no multicasts — a run that sent
+        nothing has no evidence of perfect delivery, and NaN poisons
+        downstream averages instead of silently inflating them.
+        """
         if not self.delivery_ratios:
-            return 1.0
+            return float("nan")
         return sum(self.delivery_ratios) / len(self.delivery_ratios)
 
     @property
     def min_delivery_ratio(self) -> float:
-        """Worst multicast of the run."""
+        """Worst multicast of the run (NaN when nothing was measured)."""
         if not self.delivery_ratios:
-            return 1.0
+            return float("nan")
         return min(self.delivery_ratios)
 
     @property

@@ -6,10 +6,21 @@ multicasts from random live sources, and delivery-ratio measurement a
 fixed propagation window after each send.  The result quantifies the
 paper's resilience claims: how much of the group still hears a message
 while the maintenance protocol races the membership changes.
+
+Also runnable directly for one-off resilience probes::
+
+    python -m repro.churn.runner --system cam-chord --rate 0.5 \
+        --duration 120 --trace churn.jsonl
+
+which prints the resilience summary plus the per-message-kind network
+drop/timeout accounting, and (with ``--trace``) records the structured
+event stream for ``python -m repro.trace`` forensics.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 from random import Random
 from typing import Sequence, Type
 
@@ -108,6 +119,7 @@ class ChurnExperiment:
 
         cluster.run(trace.duration + propagation_window)
         report.final_membership = len(cluster.live_members())
+        report.network_summary = cluster.network.stats.by_kind_summary()
         return report
 
     def _apply_churn_event(self, kind: ChurnKind) -> None:
@@ -132,3 +144,77 @@ class ChurnExperiment:
         )
         report.ring_consistency_samples.append(cluster.ring_consistent())
         report.path_lengths.extend(cluster.monitor.path_lengths(message_id))
+
+
+def _peer_classes() -> dict[str, Type[BasePeer]]:
+    from repro.protocol.cam_chord_peer import CamChordPeer
+    from repro.protocol.cam_koorde_peer import CamKoordePeer
+    from repro.protocol.koorde_peer import KoordePeer
+
+    return {
+        "cam-chord": CamChordPeer,
+        "cam-koorde": CamKoordePeer,
+        "koorde": KoordePeer,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """One-off churn probe: ``python -m repro.churn.runner``."""
+    systems = _peer_classes()
+    parser = argparse.ArgumentParser(
+        prog="repro-churn",
+        description="Run one churn resilience experiment and print the report.",
+    )
+    parser.add_argument("--system", choices=sorted(systems), default="cam-chord")
+    parser.add_argument(
+        "--rate", type=float, default=0.2, help="join and depart rate, events/s"
+    )
+    parser.add_argument("--duration", type=float, default=60.0, help="trace seconds")
+    parser.add_argument("--size", type=int, default=48, help="initial group size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--loss", type=float, default=0.0, help="datagram loss rate")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record structured trace events and write them as JSONL to PATH",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace is not None:
+        from repro.trace.tracer import TRACER
+
+        TRACER.enable()
+
+    from repro.churn.trace import poisson_trace
+
+    rng = Random(args.seed)
+    capacities = [rng.randint(4, 10) for _ in range(args.size)]
+    trace = poisson_trace(
+        args.duration,
+        join_rate=args.rate,
+        depart_rate=args.rate,
+        rng=Random(args.seed + 1),
+    )
+    experiment = ChurnExperiment(
+        systems[args.system],
+        capacities,
+        space_bits=16,
+        seed=args.seed,
+        loss_rate=args.loss,
+    )
+    report = experiment.run(trace, system_name=args.system)
+    print(report.summary_row())
+    print(f"# network {report.network_summary}")
+
+    if args.trace is not None:
+        from repro.trace.export import write_jsonl
+        from repro.trace.tracer import TRACER
+
+        count = write_jsonl(TRACER.events(), args.trace)
+        print(f"# trace: {count} events -> {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,6 +16,7 @@ control traffic.
 
 from __future__ import annotations
 
+import math
 from random import Random
 
 from repro.churn.runner import ChurnExperiment
@@ -61,7 +62,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 propagation_window=4.0,
                 system_name=name,
             )
-            series.add(rate, report.mean_delivery_ratio)
+            if not math.isnan(report.mean_delivery_ratio):
+                series.add(rate, report.mean_delivery_ratio)
             duplicate_series[name].add(rate, report.mean_duplicates)
         result.series.append(series)
     result.series.extend(duplicate_series.values())

@@ -15,6 +15,7 @@ paths.
 
 from __future__ import annotations
 
+import math
 from random import Random
 
 from repro.churn.runner import ChurnExperiment
@@ -63,7 +64,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 propagation_window=20.0 if config.reliable_multicast else 4.0,
                 system_name=name,
             )
-            series.add(rate, report.mean_delivery_ratio)
+            if not math.isnan(report.mean_delivery_ratio):
+                series.add(rate, report.mean_delivery_ratio)
             dup_series[name].add(rate, report.mean_duplicates)
         result.series.append(series)
     result.series.extend(dup_series.values())

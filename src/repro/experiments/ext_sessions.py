@@ -16,6 +16,7 @@ of membership change", driven by the workload the paper itself cites.
 
 from __future__ import annotations
 
+import math
 from random import Random
 
 from repro.churn.runner import ChurnExperiment
@@ -64,7 +65,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 propagation_window=4.0,
                 system_name=name,
             )
-            series.add(lifetime, report.mean_delivery_ratio)
+            if not math.isnan(report.mean_delivery_ratio):
+                series.add(lifetime, report.mean_delivery_ratio)
         series.points.sort()
         result.series.append(series)
     result.notes.append(

@@ -17,21 +17,26 @@ additionally runs the serial path (``jobs <= 1``) through the exact
 same task decomposition, making the equivalence testable byte for
 byte.
 
-Workers ship their :mod:`repro.perf` counter deltas back with each
-payload; the engine folds them into per-figure totals for the runner's
-perf footer.
+Workers ship their observability delta — :mod:`repro.perf` counter
+increments *and* the trace events the task emitted (see
+:mod:`repro.trace.registry`) — back with each payload; the engine
+folds counters into per-figure totals for the runner's perf footer and
+reassembles trace buffers in deterministic task-plan order, which
+extends the byte-identical guarantee to ``--trace`` output.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import perf
 from repro.experiments import registry
 from repro.experiments.common import ExperimentScale, FigureResult
+from repro.trace import registry as obs
+from repro.trace.tracer import TRACER, TraceEvent
 
 
 @dataclass(frozen=True)
@@ -49,7 +54,9 @@ class FigureRun:
 
     ``work_seconds`` sums the wall-clock of the run's tasks — under
     ``--jobs N`` the figure's elapsed wall time can be up to N times
-    smaller than its work time.
+    smaller than its work time.  ``events`` holds the trace events the
+    run's tasks emitted (empty unless tracing was enabled), in task
+    order.
     """
 
     name: str
@@ -57,6 +64,7 @@ class FigureRun:
     result: FigureResult
     counters: perf.PerfCounters
     work_seconds: float
+    events: tuple[TraceEvent, ...] = field(default_factory=tuple)
 
 
 def plan_tasks(
@@ -77,20 +85,33 @@ def plan_tasks(
 
 def execute_task(
     task: Task, scale: ExperimentScale
-) -> tuple[object, perf.PerfCounters, float]:
-    """Run one task, returning (payload, perf delta, wall seconds).
+) -> tuple[object, obs.ObsDelta, float]:
+    """Run one task, returning (payload, observability delta, wall s).
 
     Module-level so the process pool can pickle it by reference.
     """
     module = registry.load(task.figure)
-    before = perf.snapshot()
+    before = obs.snapshot()
     started = time.perf_counter()
     if task.point_index is None:
         payload: object = module.run(scale, task.seed)
     else:
         point = module.sweep(scale)[task.point_index]
         payload = module.run_point(scale, task.seed, point)
-    return payload, perf.since(before), time.perf_counter() - started
+    return payload, obs.since(before), time.perf_counter() - started
+
+
+def _init_worker(tracing_enabled: bool) -> None:
+    """Pool initializer: mirror the parent's tracing state.
+
+    With the fork start method workers inherit the flag anyway, but
+    spawn/forkserver workers import a fresh (disabled) tracer — without
+    this they would ship empty event deltas.
+    """
+    if tracing_enabled:
+        TRACER.enable()
+    else:
+        TRACER.disable()
 
 
 def run_experiments(
@@ -109,7 +130,11 @@ def run_experiments(
         return []
     tasks = plan_tasks(names, scale, seeds)
     if jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_init_worker,
+            initargs=(TRACER.enabled,),
+        ) as pool:
             futures = [pool.submit(execute_task, task, scale) for task in tasks]
             outcomes = [future.result() for future in futures]
     else:
@@ -127,9 +152,11 @@ def run_experiments(
             else:
                 parts = [by_task[Task(name, seed, None)]]
                 result = parts[0][0]
-            counters = perf.PerfCounters()
-            for _, delta, _ in parts:
-                counters = counters + delta
+            delta = obs.ObsDelta()
+            for _, part_delta, _ in parts:
+                delta = delta + part_delta
             work = sum(duration for _, _, duration in parts)
-            runs.append(FigureRun(name, seed, result, counters, work))
+            runs.append(
+                FigureRun(name, seed, result, delta.counters, work, delta.events)
+            )
     return runs

@@ -64,6 +64,14 @@ def main(argv: list[str] | None = None) -> int:
         help="run each experiment over N seeds and report mean ± sd",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="record structured trace events and write them as JSONL to PATH"
+        " (inspect with: python -m repro.trace summarize PATH)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the experiment names with descriptions and exit",
@@ -90,6 +98,11 @@ def main(argv: list[str] | None = None) -> int:
     print(f"# scale={scale.name} n={scale.group_size} sources={scale.sources}")
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
+
+    if args.trace is not None:
+        from repro.trace.tracer import TRACER
+
+        TRACER.enable()
 
     total_started = time.time()
     seeds = [args.seed + offset for offset in range(args.replicate)]
@@ -126,6 +139,18 @@ def main(argv: list[str] | None = None) -> int:
         f"# total: {len(names)} experiment(s) x {args.replicate} seed(s) "
         f"in {elapsed:.1f}s (jobs={args.jobs})"
     )
+
+    if args.trace is not None:
+        from repro.trace.export import write_jsonl
+        from repro.trace.tracer import resequence
+
+        # FigureRun.events slices are in deterministic task-plan order,
+        # so serial and --jobs N runs write identical files.
+        events = resequence(
+            event for run in runs for event in run.events
+        )
+        write_jsonl(events, args.trace)
+        print(f"# trace: {len(events)} events -> {args.trace}")
     return 0
 
 

@@ -37,6 +37,7 @@ from typing import Callable
 
 from repro import perf
 from repro.idspace.ring import segment_contains, segment_size
+from repro.trace.tracer import TRACER
 from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import Node
 from repro.overlay.cam_chord import level_and_sequence
@@ -162,4 +163,10 @@ def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
             queue.append((child, sublimit))
     perf.COUNTERS.multicast_trees += 1
     perf.COUNTERS.deliveries += result.messages_sent
+    if TRACER.enabled:
+        # Structural trees have no clock and up to 100k edges — one
+        # summary event per tree keeps tracing affordable at scale.
+        TRACER.emit(
+            0.0, "mc", "tree", source=source.ident, edges=result.messages_sent
+        )
     return result

@@ -23,6 +23,7 @@ from repro import perf
 from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import Node, Overlay
 from repro.overlay.cam_koorde import CamKoordeOverlay
+from repro.trace.tracer import TRACER
 
 
 def flood_multicast(
@@ -54,6 +55,11 @@ def flood_multicast(
                 budget -= 1
     perf.COUNTERS.multicast_trees += 1
     perf.COUNTERS.deliveries += result.messages_sent
+    if TRACER.enabled:
+        # One summary event per structural tree (see cam_chord note).
+        TRACER.emit(
+            0.0, "mc", "tree", source=source.ident, edges=result.messages_sent
+        )
     return result
 
 

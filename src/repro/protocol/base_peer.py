@@ -27,6 +27,7 @@ from repro.idspace.ring import IdentifierSpace
 from repro.protocol.config import ProtocolConfig
 from repro.sim.engine import Future, FutureError, ProcessHandle, Simulator
 from repro.sim.network import Message, Network
+from repro.trace.tracer import TRACER
 
 
 class LookupFailed(Exception):
@@ -129,6 +130,7 @@ class BasePeer:
         # single lost datagram must not evict a live successor.
         self._successor_strikes = 0
         self._join_in_flight = False
+        self._departing_gracefully = False
 
     #: Evict the successor after this many consecutive RPC failures.
     #: Eviction also purges the node from the neighbor table, so the
@@ -203,6 +205,11 @@ class BasePeer:
             self.predecessor = None
             self.successors = [successor]
             self._go_live()
+            if TRACER.enabled:
+                TRACER.emit(
+                    self.simulator.now, "proto", "join",
+                    ident=self.ident, succ=successor,
+                )
             self.network.send(self.ident, successor, "notify", {"ident": self.ident})
             outcome.resolve(True)
 
@@ -237,6 +244,9 @@ class BasePeer:
         """Graceful departure: hand state to the ring neighbors, then go."""
         if not self.alive:
             return
+        if TRACER.enabled:
+            TRACER.emit(self.simulator.now, "proto", "leave", ident=self.ident)
+        self._departing_gracefully = True
         if self.predecessor is not None and self.predecessor != self.ident:
             self.network.send(
                 self.ident,
@@ -257,6 +267,8 @@ class BasePeer:
         """Abrupt failure: vanish without telling anyone."""
         if not self.alive:
             return
+        if TRACER.enabled and not self._departing_gracefully:
+            TRACER.emit(self.simulator.now, "proto", "crash", ident=self.ident)
         self.alive = False
         self.network.unregister(self.ident)
         for task in self._tasks:
@@ -282,6 +294,11 @@ class BasePeer:
                 if self._successor_strikes >= self.SUCCESSOR_STRIKE_LIMIT:
                     self._successor_strikes = 0
                     dead = self.successors.pop(0)
+                    if TRACER.enabled:
+                        TRACER.emit(
+                            self.simulator.now, "proto", "evict",
+                            ident=self.ident, dead=dead,
+                        )
                     # The evidence is solid (several consecutive
                     # failures) — drop every link to the dead node, or
                     # the islanded-recovery path below could keep
@@ -306,6 +323,11 @@ class BasePeer:
                 if ident != self.ident and ident not in merged:
                     merged.append(ident)
             self.successors = merged[: self.config.successor_list_size]
+            if TRACER.enabled:
+                TRACER.emit(
+                    self.simulator.now, "proto", "stabilize",
+                    ident=self.ident, succ=succ,
+                )
             self.network.send(self.ident, succ, "notify", {"ident": self.ident})
             return
         if not self.successors:
@@ -329,7 +351,17 @@ class BasePeer:
         try:
             resolved = yield from self._lookup_process(identifier)
         except LookupFailed:
+            if TRACER.enabled:
+                TRACER.emit(
+                    self.simulator.now, "proto", "fix_failed",
+                    ident=self.ident, slot=str(key),
+                )
             return
+        if TRACER.enabled:
+            TRACER.emit(
+                self.simulator.now, "proto", "fix_neighbor",
+                ident=self.ident, slot=str(key), resolved=resolved,
+            )
         if resolved == self.ident:
             self.neighbor_table.pop(key, None)
         else:
@@ -406,12 +438,23 @@ class BasePeer:
                     failed.add(current)
                     break
                 hops += 1
+                if TRACER.enabled:
+                    TRACER.emit(
+                        self.simulator.now, "proto", "lookup_hop",
+                        ident=self.ident, key=key, hop=reply["ident"],
+                        done=bool(reply["done"]),
+                    )
                 if reply["done"]:
                     return reply["ident"]
                 nxt = reply["ident"]
                 if nxt == current:
                     return current
                 current = nxt
+        if TRACER.enabled:
+            TRACER.emit(
+                self.simulator.now, "proto", "lookup_failed",
+                ident=self.ident, key=key,
+            )
         raise LookupFailed(f"lookup of {key} from {self.ident} failed")
 
     def _lookup_via(self, bootstrap: int, key: int) -> Generator[Any, Any, int]:
@@ -494,6 +537,25 @@ class BasePeer:
         """Globally unique multicast message identifier."""
         return next(_message_ids)
 
-    def _deliver_local(self, message_id: int, depth: int) -> None:
+    def _deliver_local(
+        self, message_id: int, depth: int, parent: int | None = None
+    ) -> None:
+        """Record a first delivery; ``parent`` is the forwarding peer
+        (``None`` at the origin) — the edge of the actual tree."""
+        if TRACER.enabled:
+            TRACER.emit(
+                self.simulator.now, "mc", "deliver",
+                mid=message_id, ident=self.ident, depth=depth, parent=parent,
+            )
         if self.monitor is not None:
             self.monitor.delivered(message_id, self.ident, depth)
+
+    def _duplicate_local(self, message_id: int, sender: int) -> None:
+        """Record a suppressed duplicate copy from ``sender``."""
+        if TRACER.enabled:
+            TRACER.emit(
+                self.simulator.now, "mc", "dup",
+                mid=message_id, ident=self.ident, sender=sender,
+            )
+        if self.monitor is not None:
+            self.monitor.duplicate(message_id, self.ident)

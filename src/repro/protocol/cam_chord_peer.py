@@ -22,6 +22,7 @@ from repro.overlay.cam_chord import slot_identifiers
 from repro.protocol.base_peer import BasePeer, LookupFailed
 from repro.sim.engine import FutureError
 from repro.sim.network import Message
+from repro.trace.tracer import TRACER
 
 
 class CamChordPeer(BasePeer):
@@ -136,6 +137,12 @@ class CamChordPeer(BasePeer):
                 # the next live node sits beyond the region: nobody is
                 # left inside the dead child's span, repair is complete
                 return
+            if TRACER.enabled:
+                TRACER.emit(
+                    self.simulator.now, "mc", "repair",
+                    mid=payload["mid"], ident=self.ident,
+                    dead=target, replacement=replacement,
+                )
             target = replacement
 
     def _on_mc_region(self, message: Message) -> None:
@@ -151,11 +158,10 @@ class CamChordPeer(BasePeer):
             # re-deliver, but do re-forward so the extra span is
             # covered; receivers dedupe the overlap the same way, and
             # the recursion terminates because regions shrink strictly.
-            if self.monitor is not None:
-                self.monitor.duplicate(message_id, self.ident)
+            self._duplicate_local(message_id, message.sender)
             if self.config.reliable_multicast:
                 self._forward_region(message_id, payload["limit"], payload["depth"])
             return
         self._seen_messages.add(message_id)
-        self._deliver_local(message_id, payload["depth"])
+        self._deliver_local(message_id, payload["depth"], parent=message.sender)
         self._forward_region(message_id, payload["limit"], payload["depth"])

@@ -19,6 +19,7 @@ from repro.protocol.config import ProtocolConfig
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import Network
+from repro.trace.tracer import TRACER
 
 
 class Cluster:
@@ -234,7 +235,22 @@ class Cluster:
         if not peer.alive:
             raise RuntimeError(f"peer {ident} is not alive")
         message_id = peer.next_message_id()
-        self.monitor.message_sent(message_id, ident, self.live_members())
+        members = self.live_members()
+        self.monitor.message_sent(message_id, ident, members)
+        if TRACER.enabled:
+            # The origin event freezes the send-time membership (with
+            # capacities) so the causal reconstructor can rebuild the
+            # implicit tree and name every lost member's last hop.
+            TRACER.emit(
+                self.simulator.now, "mc", "origin",
+                mid=message_id, source=ident,
+                system=type(peer).__name__, bits=self.space.bits,
+                members=sorted(members),
+                capacities=[
+                    [member, self.peers[member].capacity]
+                    for member in sorted(members)
+                ],
+            )
         peer.multicast(message_id)  # type: ignore[attr-defined]
         return message_id
 

@@ -123,9 +123,8 @@ class KoordePeer(BasePeer):
         payload = message.payload
         message_id = payload["mid"]
         if message_id in self._seen_messages:
-            if self.monitor is not None:
-                self.monitor.duplicate(message_id, self.ident)
+            self._duplicate_local(message_id, message.sender)
             return
         self._seen_messages.add(message_id)
-        self._deliver_local(message_id, payload["depth"])
+        self._deliver_local(message_id, payload["depth"], parent=message.sender)
         self._flood(message_id, payload["depth"], skip=message.sender)

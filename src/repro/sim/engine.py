@@ -24,6 +24,8 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator
 
+from repro.trace.tracer import TRACER
+
 #: The process type protocol code implements.
 Process = Generator[Any, Any, None]
 
@@ -121,11 +123,14 @@ class EventHandle:
 class ProcessHandle:
     """Handle to a spawned process: observe completion, or kill it."""
 
-    __slots__ = ("_generator", "_alive", "completion")
+    __slots__ = ("_generator", "_alive", "completion", "pid", "name")
 
-    def __init__(self, generator: Process) -> None:
+    def __init__(self, generator: Process, pid: int = 0) -> None:
         self._generator = generator
         self._alive = True
+        #: Process identity for trace events (assigned by the simulator).
+        self.pid = pid
+        self.name = getattr(generator, "__name__", type(generator).__name__)
         #: Resolves when the process returns; fails if it raises.
         self.completion = Future()
 
@@ -151,6 +156,7 @@ class Simulator:
         self._sequence = 0
         self._now = 0.0
         self._processed = 0
+        self._next_pid = 1
 
     @property
     def now(self) -> float:
@@ -181,7 +187,12 @@ class Simulator:
 
     def spawn(self, process: Process, delay: float = 0.0) -> ProcessHandle:
         """Start a generator process after ``delay``."""
-        handle = ProcessHandle(process)
+        handle = ProcessHandle(process, pid=self._next_pid)
+        self._next_pid += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                self._now, "sim", "spawn", pid=handle.pid, name=handle.name, delay=delay
+            )
         self.call_later(delay, lambda: self._step(handle, None, None))
         return handle
 
@@ -195,19 +206,29 @@ class Simulator:
                 yielded = handle._generator.send(value)
         except StopIteration as stop:
             handle._alive = False
+            if TRACER.enabled:
+                TRACER.emit(self._now, "sim", "exit", pid=handle.pid, outcome="return")
             handle.completion.resolve(stop.value)
             return
         except FutureError as exc:
             # an unhandled RPC failure terminates the process
             handle._alive = False
+            if TRACER.enabled:
+                TRACER.emit(self._now, "sim", "exit", pid=handle.pid, outcome="error")
             handle.completion.fail(str(exc))
             return
         self._wait(handle, yielded)
 
     def _wait(self, handle: ProcessHandle, yielded: Any) -> None:
         if isinstance(yielded, (int, float)):
+            if TRACER.enabled:
+                TRACER.emit(
+                    self._now, "sim", "sleep", pid=handle.pid, delay=float(yielded)
+                )
             self.call_later(float(yielded), lambda: self._step(handle, None, None))
         elif isinstance(yielded, Future):
+            if TRACER.enabled:
+                TRACER.emit(self._now, "sim", "wait", pid=handle.pid)
             def on_settle(future: Future) -> None:
                 if future.failed:
                     self._step(handle, None, str(future._value))

@@ -11,12 +11,13 @@ maintenance RPCs in :mod:`repro.protocol`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from random import Random
 from typing import Any, Protocol
 
 from repro.sim.engine import Future, Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.trace.tracer import TRACER
 
 
 @dataclass(frozen=True)
@@ -40,7 +41,14 @@ class Endpoint(Protocol):
 
 @dataclass
 class NetworkStats:
-    """Counters for everything the network did."""
+    """Counters for everything the network did.
+
+    Besides the global totals, drops and timeouts are broken down by
+    message *kind* — ``drops_by_kind[kind][reason]`` and
+    ``timeouts_by_kind[kind]`` — so an experiment footer can say which
+    traffic class (maintenance RPCs vs multicast data) the network
+    actually ate.
+    """
 
     sent: int = 0
     delivered: int = 0
@@ -48,6 +56,36 @@ class NetworkStats:
     dropped_loss: int = 0
     dropped_partition: int = 0
     timeouts: int = 0
+    drops_by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
+    timeouts_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def count_drop(self, kind: str, reason: str) -> None:
+        """Record one dropped datagram of ``kind`` for ``reason``."""
+        per_kind = self.drops_by_kind.setdefault(kind, {})
+        per_kind[reason] = per_kind.get(reason, 0) + 1
+
+    def count_timeout(self, kind: str) -> None:
+        """Record one expired request of ``kind``."""
+        self.timeouts_by_kind[kind] = self.timeouts_by_kind.get(kind, 0) + 1
+
+    def by_kind_summary(self) -> str:
+        """One compact footer line of per-kind drops and timeouts."""
+        parts = []
+        for kind in sorted(self.drops_by_kind):
+            reasons = self.drops_by_kind[kind]
+            detail = " ".join(
+                f"{reason}={reasons[reason]}" for reason in sorted(reasons)
+            )
+            parts.append(f"{kind}[{detail}]")
+        drops = " ".join(parts) if parts else "none"
+        timeouts = (
+            " ".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.timeouts_by_kind.items())
+            )
+            or "none"
+        )
+        return f"drops: {drops} | timeouts: {timeouts}"
 
 
 class Network:
@@ -98,10 +136,14 @@ class Network:
     def partition(self, a: int, b: int) -> None:
         """Silently drop all traffic between two hosts (both ways)."""
         self._partitioned.add(frozenset((a, b)))
+        if TRACER.enabled:
+            TRACER.emit(self._sim.now, "net", "partition", a=a, b=b)
 
     def heal(self, a: int, b: int) -> None:
         """Undo :meth:`partition`."""
         self._partitioned.discard(frozenset((a, b)))
+        if TRACER.enabled:
+            TRACER.emit(self._sim.now, "net", "heal", a=a, b=b)
 
     def set_loss_rate(self, loss_rate: float) -> None:
         """Change the iid message-loss probability."""
@@ -110,6 +152,23 @@ class Network:
         self._loss_rate = loss_rate
 
     # -- datagrams --------------------------------------------------------
+
+    @staticmethod
+    def _trace_fields(message_kind: str, payload: Any) -> dict[str, Any]:
+        """Multicast routing fields worth lifting into trace events.
+
+        Only called on the tracing-enabled path: the causal
+        reconstructor needs the message id (and, for region handoffs,
+        the covered span) without parsing opaque payloads.
+        """
+        if not isinstance(payload, dict):
+            return {}
+        fields_out: dict[str, Any] = {}
+        for key in ("mid", "limit", "depth"):
+            value = payload.get(key)
+            if value is not None:
+                fields_out[key] = value
+        return fields_out
 
     def send(
         self,
@@ -124,12 +183,34 @@ class Network:
         self.stats.sent += 1
         if frozenset((sender, recipient)) in self._partitioned:
             self.stats.dropped_partition += 1
+            self.stats.count_drop(kind, "partition")
+            if TRACER.enabled:
+                TRACER.emit(
+                    self._sim.now, "net", "drop",
+                    src=sender, dst=recipient, kind=kind, reason="partition",
+                    **self._trace_fields(kind, payload),
+                )
             return
         if self._loss_rate and self._rng.random() < self._loss_rate:
             self.stats.dropped_loss += 1
+            self.stats.count_drop(kind, "loss")
+            if TRACER.enabled:
+                TRACER.emit(
+                    self._sim.now, "net", "drop",
+                    src=sender, dst=recipient, kind=kind, reason="loss",
+                    **self._trace_fields(kind, payload),
+                )
             return
         message = Message(sender, recipient, kind, payload, request_id, is_reply)
         delay = self._latency.delay(sender, recipient, self._rng)
+        if TRACER.enabled:
+            extra = self._trace_fields(kind, payload)
+            if is_reply:
+                extra["reply"] = True
+            TRACER.emit(
+                self._sim.now, "net", "send",
+                src=sender, dst=recipient, kind=kind, delay=delay, **extra,
+            )
         self._sim.call_later(delay, lambda: self._deliver(message))
 
     def _deliver(self, message: Message) -> None:
@@ -137,13 +218,33 @@ class Network:
             future = self._pending.pop(message.request_id, None)
             if future is not None and not future.done:
                 self.stats.delivered += 1
+                if TRACER.enabled:
+                    TRACER.emit(
+                        self._sim.now, "net", "deliver",
+                        src=message.sender, dst=message.recipient,
+                        kind=message.kind, reply=True,
+                    )
                 future.resolve(message.payload)
             return
         endpoint = self._endpoints.get(message.recipient)
         if endpoint is None:
             self.stats.dropped_dead += 1
+            self.stats.count_drop(message.kind, "dead")
+            if TRACER.enabled:
+                TRACER.emit(
+                    self._sim.now, "net", "drop",
+                    src=message.sender, dst=message.recipient,
+                    kind=message.kind, reason="dead",
+                    **self._trace_fields(message.kind, message.payload),
+                )
             return
         self.stats.delivered += 1
+        if TRACER.enabled:
+            TRACER.emit(
+                self._sim.now, "net", "deliver",
+                src=message.sender, dst=message.recipient, kind=message.kind,
+                **self._trace_fields(message.kind, message.payload),
+            )
         endpoint.handle_message(message)
 
     # -- request / response ------------------------------------------------
@@ -167,6 +268,12 @@ class Network:
             pending = self._pending.pop(request_id, None)
             if pending is not None and not pending.done:
                 self.stats.timeouts += 1
+                self.stats.count_timeout(kind)
+                if TRACER.enabled:
+                    TRACER.emit(
+                        self._sim.now, "net", "timeout",
+                        src=sender, dst=recipient, kind=kind, rid=request_id,
+                    )
                 pending.fail(f"request {kind} to {recipient} timed out")
 
         self._sim.call_later(timeout, expire)

@@ -1,0 +1,98 @@
+"""Trace exporters: JSONL (canonical) and Chrome/Perfetto trace_event.
+
+JSONL is the round-trippable on-disk form the runner's ``--trace PATH``
+writes and every CLI command reads: one ``TraceEvent.to_json_dict``
+object per line.  The Chrome form targets ``chrome://tracing`` and
+`Perfetto <https://ui.perfetto.dev>`_: simulated seconds become
+microseconds, layers become track names, and the event data rides in
+``args`` — drop a converted file into the Perfetto UI and every
+multicast, drop and stabilize round lands on a zoomable timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.trace.tracer import TraceEvent
+
+#: stable track (tid) order for the Chrome export
+_LAYER_TRACKS = {"sim": 1, "net": 2, "proto": 3, "mc": 4}
+
+
+def write_jsonl(events: Iterable[TraceEvent], path: Path | str) -> int:
+    """Write events as JSON lines; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event.to_json_dict(), separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Path | str) -> tuple[TraceEvent, ...]:
+    """Load a JSONL trace file back into events."""
+    events: list[TraceEvent] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: not JSON: {exc}") from None
+            events.append(TraceEvent.from_json_dict(raw))
+    return tuple(events)
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """The Chrome ``trace_event`` JSON object for a set of events.
+
+    Every trace event becomes an *instant* event (``ph: "i"``) on its
+    layer's track; multicast deliveries additionally get the message id
+    appended to the name so Perfetto's search can isolate one
+    dissemination.
+    """
+    trace_events = []
+    for event in events:
+        name = event.name
+        mid = event.data.get("mid")
+        if mid is not None:
+            name = f"{name}#{mid}"
+        trace_events.append(
+            {
+                "name": name,
+                "cat": event.layer,
+                "ph": "i",
+                "s": "g",  # global scope: visible across the whole row
+                "ts": round(event.time * 1_000_000, 3),
+                "pid": 1,
+                "tid": _LAYER_TRACKS.get(event.layer, 9),
+                "args": dict(event.data, seq=event.seq),
+            }
+        )
+    thread_names = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": f"{layer} layer"},
+        }
+        for layer, tid in _LAYER_TRACKS.items()
+    ]
+    return {
+        "traceEvents": thread_names + trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.trace", "clock": "simulated-seconds"},
+    }
+
+
+def write_chrome_trace(events: Sequence[TraceEvent], path: Path | str) -> int:
+    """Write the Chrome/Perfetto JSON form; returns events written."""
+    Path(path).write_text(json.dumps(to_chrome_trace(events)) + "\n", encoding="utf-8")
+    return len(events)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from random import Random
 
 import pytest
@@ -93,12 +94,16 @@ class TestResilienceReport:
         assert "x" in report.summary_row()
 
     def test_empty_defaults(self):
+        # A run that measured nothing has no delivery evidence: NaN, not
+        # a fabricated perfect 1.0 (which would inflate aggregates).
         report = ResilienceReport(system="x", churn_rate=0)
-        assert report.mean_delivery_ratio == 1.0
-        assert report.min_delivery_ratio == 1.0
+        assert math.isnan(report.mean_delivery_ratio)
+        assert math.isnan(report.min_delivery_ratio)
         assert report.mean_duplicates == 0.0
         assert report.ring_consistency_fraction == 1.0
         assert report.mean_path_length == 0.0
+        # ...and the summary row still renders without raising.
+        assert "x" in report.summary_row()
 
     def test_geometric_mean(self):
         assert geometric_mean([4.0, 1.0]) == pytest.approx(2.0)

@@ -97,6 +97,111 @@ class TestDatagrams:
         assert len(receiver.messages) == 1
 
 
+class TestPartitionInteractions:
+    """Partitions composed with loss, timeouts and per-kind accounting."""
+
+    def test_partition_checked_before_loss(self):
+        # On a partitioned link every drop is a partition drop: the loss
+        # coin is never tossed, so the loss RNG stream stays untouched.
+        sim, net = make_net(loss=0.5, seed=1)
+        net.register(2, Recorder())
+        net.partition(1, 2)
+        for _ in range(50):
+            net.send(1, 2, "m")
+        sim.run_until_idle()
+        assert net.stats.dropped_partition == 50
+        assert net.stats.dropped_loss == 0
+
+    def test_heal_restores_lossy_delivery(self):
+        # After heal the link behaves like any lossy link again.
+        sim, net = make_net(loss=0.5, seed=1)
+        receiver = Recorder()
+        net.register(2, receiver)
+        net.partition(1, 2)
+        net.send(1, 2, "m")
+        net.heal(1, 2)
+        for _ in range(200):
+            net.send(1, 2, "m")
+        sim.run_until_idle()
+        assert net.stats.dropped_partition == 1
+        assert 0 < len(receiver.messages) < 200
+        assert net.stats.dropped_loss == 200 - len(receiver.messages)
+
+    def test_partition_is_symmetric_and_pairwise(self):
+        sim, net = make_net()
+        a, b, c = Recorder(), Recorder(), Recorder()
+        net.register(1, a)
+        net.register(2, b)
+        net.register(3, c)
+        net.partition(1, 2)
+        net.send(2, 1, "reverse")  # partition blocks both directions
+        net.send(1, 3, "bypass")  # but only the named pair
+        sim.run_until_idle()
+        assert a.messages == []
+        assert len(c.messages) == 1
+        assert net.stats.dropped_partition == 1
+
+    def test_request_into_partition_times_out(self):
+        sim, net = make_net()
+        server = Recorder(network=net)
+        net.register(2, server)
+        net.partition(1, 2)
+        future = net.request(1, 2, "ask", timeout=2.0)
+        sim.run_until_idle()
+        assert future.failed
+        assert net.stats.timeouts == 1
+        assert net.stats.dropped_partition == 1
+        assert server.messages == []  # request never arrived
+
+    def test_partition_blocks_reply_path(self):
+        # The request lands, then the link partitions before the reply:
+        # the reply is dropped by the partition and the waiter times out.
+        sim, net = make_net(latency=ConstantLatency(0.5))
+
+        class PartitionThenRespond(Recorder):
+            def handle_message(self, message):
+                net.partition(1, 2)
+                super().handle_message(message)
+
+        server = PartitionThenRespond(network=net)
+        net.register(2, server)
+        future = net.request(1, 2, "ask", timeout=3.0)
+        sim.run_until_idle()
+        assert len(server.messages) == 1  # request was delivered
+        assert future.failed
+        assert net.stats.timeouts == 1
+        assert net.stats.dropped_partition == 1
+
+    def test_heal_before_timeout_lets_retry_succeed(self):
+        sim, net = make_net(latency=ConstantLatency(0.1))
+        server = Recorder(network=net)
+        net.register(2, server)
+        net.partition(1, 2)
+        first = net.request(1, 2, "ask", timeout=1.0)
+        sim.run_until_idle()
+        assert first.failed
+        net.heal(1, 2)
+        second = net.request(1, 2, "ask", {"q": 1}, timeout=1.0)
+        sim.run_until_idle()
+        assert second.value == {"echo": {"q": 1}}
+
+    def test_per_kind_accounting(self):
+        sim, net = make_net()
+        net.register(2, Recorder())
+        net.partition(1, 2)
+        net.send(1, 2, "mc_region", {"mid": 7})
+        net.send(1, 2, "mc_region", {"mid": 8})
+        future = net.request(1, 2, "ping", timeout=1.0)
+        sim.run_until_idle()
+        assert future.failed
+        assert net.stats.drops_by_kind["mc_region"]["partition"] == 2
+        assert net.stats.drops_by_kind["ping"]["partition"] == 1
+        assert net.stats.timeouts_by_kind["ping"] == 1
+        summary = net.stats.by_kind_summary()
+        assert "mc_region[partition=2]" in summary
+        assert "ping=1" in summary
+
+
 class TestRequestResponse:
     def test_round_trip(self):
         sim, net = make_net(latency=ConstantLatency(0.1))
