@@ -90,6 +90,51 @@ def measure_tracing(scale, repeats: int, seed: int = 0) -> dict:
     }
 
 
+def measure_systems(scale, seed: int = 0) -> dict:
+    """Registry-driven per-system timings: overlay build + one multicast.
+
+    Iterates the :mod:`repro.systems` registry, so a fifth registered
+    system shows up in the trajectory without touching this file.  Each
+    system is built at its paper-typical knob (per-link rate 100 kbps
+    for the capacity-aware systems, fanout 16 for the uniform
+    baselines), translated through its fanout policy.
+    """
+    from random import Random
+
+    from repro.multicast.session import MulticastGroup
+    from repro.systems import all_descriptors
+
+    rng = Random(seed)
+    bandwidths = [rng.uniform(400.0, 1000.0) for _ in range(scale.group_size)]
+    systems: dict[str, dict[str, float]] = {}
+    for system in all_descriptors():
+        knob = 100.0 if system.capacity_aware else 16.0
+        per_link, uniform_fanout = system.fanout.group_build_args(knob, 100.0)
+        started = time.perf_counter()
+        group = MulticastGroup.build(
+            system,
+            bandwidths,
+            per_link_kbps=per_link,
+            space_bits=scale.space_bits,
+            uniform_fanout=uniform_fanout,
+            seed=seed,
+        )
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        result = group.multicast_from(group.snapshot.nodes[0])
+        multicast_s = time.perf_counter() - started
+        systems[system.name] = {
+            "build_s": round(build_s, 4),
+            "multicast_s": round(multicast_s, 4),
+            "receivers": result.receiver_count,
+        }
+        print(
+            f"system {system.name:10s} build {build_s:7.3f}s  "
+            f"multicast {multicast_s:7.3f}s  ({result.receiver_count} receivers)"
+        )
+    return systems
+
+
 def measure(scale, repeats: int, seed: int = 0) -> dict:
     """Median cold + warm seconds per core figure, with perf totals."""
     figures: dict[str, dict[str, float]] = {}
@@ -107,6 +152,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         )
     counters = perf.since(before)
     tracing = measure_tracing(scale, repeats, seed)
+    systems = measure_systems(scale, seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "scale": scale.name,
@@ -116,6 +162,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         "machine": platform.machine(),
         "figures": figures,
         "tracing": tracing,
+        "systems": systems,
         "perf": asdict(counters),
     }
 

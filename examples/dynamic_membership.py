@@ -15,16 +15,16 @@ Run:  python examples/dynamic_membership.py      (~30 s)
 
 from random import Random
 
-from repro.protocol import CamChordPeer, CamKoordePeer, Cluster
+from repro.protocol import Cluster
 
 MEMBERS = 80
 CRASH_FRACTION = 0.15
 
 
-def run_system(name: str, peer_class) -> None:
+def run_system(name: str, system: str) -> None:
     rng = Random(17)
     capacities = [rng.randint(4, 10) for _ in range(MEMBERS)]
-    cluster = Cluster(peer_class, capacities, space_bits=14, seed=17)
+    cluster = Cluster(system, capacities, space_bits=14, seed=17)
 
     print(f"--- {name} ---")
     cluster.bootstrap()
@@ -63,8 +63,8 @@ def run_system(name: str, peer_class) -> None:
 
 
 def main() -> None:
-    run_system("CAM-Chord (implicit trees)", CamChordPeer)
-    run_system("CAM-Koorde (flooding)", CamKoordePeer)
+    run_system("CAM-Chord (implicit trees)", "cam-chord")
+    run_system("CAM-Koorde (flooding)", "cam-koorde")
     print(
         "Flooding keeps delivering through the crash window; the tree "
         "loses the subtrees behind stale entries until stabilization "

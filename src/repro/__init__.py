@@ -9,15 +9,21 @@ regenerates every figure of the paper's evaluation.
 Quickstart::
 
     from random import Random
-    from repro import MulticastGroup, SystemKind
+    from repro import MulticastGroup
 
     rng = Random(42)
     bandwidths = [rng.uniform(400, 1000) for _ in range(1000)]
     group = MulticastGroup.build(
-        SystemKind.CAM_CHORD, bandwidths, per_link_kbps=100, seed=42
+        "cam-chord", bandwidths, per_link_kbps=100, seed=42
     )
     tree = group.multicast_from(group.random_member(rng))
     print(tree.receiver_count, tree.average_path_length())
+
+Which systems exist — and everything about them — lives in the
+:mod:`repro.systems` registry: ``get_system("cam-koorde")`` returns the
+frozen :class:`~repro.systems.SystemDescriptor` that every layer
+(structural overlays, live protocol clusters, the experiment harness)
+dispatches through.
 """
 
 from repro.capacity import (
@@ -49,6 +55,12 @@ from repro.overlay import (
     Node,
     RingSnapshot,
 )
+from repro.systems import (
+    MemberSpec,
+    SystemDescriptor,
+    all_descriptors,
+    get_system,
+)
 from repro.workloads import GroupSpec, generate_group
 
 __version__ = "1.0.0"
@@ -62,9 +74,13 @@ __all__ = [
     "TreeStats",
     "summarize_tree",
     "sustainable_throughput",
+    "MemberSpec",
     "MulticastGroup",
     "MulticastResult",
+    "SystemDescriptor",
     "SystemKind",
+    "all_descriptors",
+    "get_system",
     "cam_chord_multicast",
     "cam_koorde_multicast",
     "chord_broadcast",

@@ -22,14 +22,14 @@ from __future__ import annotations
 import argparse
 import sys
 from random import Random
-from typing import Sequence, Type
+from typing import Sequence
 
 from repro.churn.resilience import ResilienceReport
 from repro.churn.trace import ChurnKind, ChurnTrace
-from repro.protocol.base_peer import BasePeer
-from repro.protocol.cluster import Cluster
+from repro.protocol.cluster import Cluster, SystemLike
 from repro.protocol.config import ProtocolConfig
 from repro.sim.latency import LatencyModel
+from repro.systems import DEFAULT_UNIFORM_FANOUT, MemberSpec
 
 
 class ChurnExperiment:
@@ -37,8 +37,8 @@ class ChurnExperiment:
 
     def __init__(
         self,
-        peer_class: Type[BasePeer],
-        capacities: Sequence[int],
+        system: SystemLike,
+        capacities: "MemberSpec | Sequence[int]",
         bandwidths: Sequence[float] | None = None,
         space_bits: int = 16,
         config: ProtocolConfig | None = None,
@@ -47,9 +47,10 @@ class ChurnExperiment:
         seed: int = 0,
         capacity_floor: int = 4,
         capacity_ceiling: int | None = None,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     ) -> None:
         self.cluster = Cluster(
-            peer_class,
+            system,
             capacities,
             bandwidths=bandwidths,
             space_bits=space_bits,
@@ -57,11 +58,16 @@ class ChurnExperiment:
             latency=latency,
             loss_rate=loss_rate,
             seed=seed,
+            uniform_fanout=uniform_fanout,
         )
         self._rng = Random(seed ^ 0x5EED)
         self._capacity_floor = capacity_floor
         self._capacity_ceiling = capacity_ceiling
-        self._base_capacities = list(capacities)
+        self._base_capacities = list(
+            capacities.capacities
+            if isinstance(capacities, MemberSpec)
+            else capacities
+        )
 
     def _sample_capacity(self) -> int:
         """Capacity for a newly joining member (same law as the base)."""
@@ -146,26 +152,17 @@ class ChurnExperiment:
         report.path_lengths.extend(cluster.monitor.path_lengths(message_id))
 
 
-def _peer_classes() -> dict[str, Type[BasePeer]]:
-    from repro.protocol.cam_chord_peer import CamChordPeer
-    from repro.protocol.cam_koorde_peer import CamKoordePeer
-    from repro.protocol.koorde_peer import KoordePeer
-
-    return {
-        "cam-chord": CamChordPeer,
-        "cam-koorde": CamKoordePeer,
-        "koorde": KoordePeer,
-    }
-
-
 def main(argv: list[str] | None = None) -> int:
     """One-off churn probe: ``python -m repro.churn.runner``."""
-    systems = _peer_classes()
+    from repro.systems import system_names
+
     parser = argparse.ArgumentParser(
         prog="repro-churn",
         description="Run one churn resilience experiment and print the report.",
     )
-    parser.add_argument("--system", choices=sorted(systems), default="cam-chord")
+    parser.add_argument(
+        "--system", choices=sorted(system_names()), default="cam-chord"
+    )
     parser.add_argument(
         "--rate", type=float, default=0.2, help="join and depart rate, events/s"
     )
@@ -173,6 +170,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--size", type=int, default=48, help="initial group size")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--loss", type=float, default=0.0, help="datagram loss rate")
+    parser.add_argument(
+        "--fanout",
+        type=int,
+        default=4,
+        help="uniform fanout for the capacity-oblivious baselines",
+    )
     parser.add_argument(
         "--trace",
         default=None,
@@ -197,11 +200,12 @@ def main(argv: list[str] | None = None) -> int:
         rng=Random(args.seed + 1),
     )
     experiment = ChurnExperiment(
-        systems[args.system],
+        args.system,
         capacities,
         space_bits=16,
         seed=args.seed,
         loss_rate=args.loss,
+        uniform_fanout=args.fanout,
     )
     report = experiment.run(trace, system_name=args.system)
     print(report.summary_row())

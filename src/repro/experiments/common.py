@@ -25,6 +25,7 @@ from repro.capacity.distributions import (
 from repro.multicast.delivery import MulticastResult
 from repro.multicast.session import MulticastGroup, SystemKind
 from repro.overlay.base import RingSnapshot
+from repro.systems import DEFAULT_UNIFORM_FANOUT, SystemDescriptor, resolve
 from repro.workloads.groups import GroupSpec, generate_group
 
 
@@ -198,17 +199,18 @@ def bandwidth_draws(
 
 
 def bandwidth_group(
-    kind: SystemKind,
+    kind: "SystemKind | SystemDescriptor | str",
     scale: ExperimentScale,
     per_link_kbps: float,
     bandwidth: UniformBandwidth | None = None,
-    uniform_fanout: int = 2,
+    uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     seed: int = 0,
 ) -> MulticastGroup:
     """A group in the Figures 6-8 setup: capacities from bandwidths."""
+    system = resolve(kind)
     bandwidth = bandwidth if bandwidth is not None else UniformBandwidth()
     key = (
-        kind,
+        system.kind,
         bandwidth,
         per_link_kbps,
         scale.group_size,
@@ -223,7 +225,7 @@ def bandwidth_group(
     perf.COUNTERS.group_cache_misses += 1
     draws = bandwidth_draws(bandwidth, scale.group_size, seed)
     group = MulticastGroup.build(
-        kind,
+        system,
         draws,
         per_link_kbps=per_link_kbps,
         space_bits=scale.space_bits,
@@ -235,20 +237,21 @@ def bandwidth_group(
 
 
 def capacity_group(
-    kind: SystemKind,
+    kind: "SystemKind | SystemDescriptor | str",
     scale: ExperimentScale,
     capacities: CapacityDistribution,
-    uniform_fanout: int = 2,
+    uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     seed: int = 0,
 ) -> MulticastGroup:
     """A group in the Figures 9-11 setup: capacities drawn directly."""
+    system = resolve(kind)
     spec = GroupSpec(
         size=scale.group_size,
         space_bits=scale.space_bits,
         capacities=capacities,
-        min_capacity=kind.min_capacity,
+        min_capacity=system.min_capacity,
     )
-    key = (kind, spec, uniform_fanout, seed)
+    key = (system.kind, spec, uniform_fanout, seed)
     cached = _GROUP_CACHE.get(key)
     if cached is not None:
         perf.COUNTERS.group_cache_hits += 1
@@ -261,7 +264,7 @@ def capacity_group(
     if snapshot is None:
         snapshot = generate_group(spec, seed=seed)
         _cache_put(_SNAPSHOT_CACHE, snapshot_key, snapshot, _SNAPSHOT_CACHE_MAX)
-    group = MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+    group = MulticastGroup.from_snapshot(system, snapshot, uniform_fanout=uniform_fanout)
     _cache_put(_GROUP_CACHE, key, group, _GROUP_CACHE_MAX)
     return group
 

@@ -22,14 +22,12 @@ from random import Random
 from repro.churn.runner import ChurnExperiment
 from repro.churn.trace import poisson_trace
 from repro.experiments.common import ExperimentScale, FigureResult, Series
-from repro.protocol.cam_chord_peer import CamChordPeer
-from repro.protocol.cam_koorde_peer import CamKoordePeer
+from repro.systems import capacity_aware_systems
 
 #: churn event rates (joins/sec == departures/sec), swept
 CHURN_RATES = (0.0, 0.05, 0.15, 0.3)
 
 DURATION = 120.0
-SYSTEMS = (("cam-chord", CamChordPeer), ("cam-koorde", CamKoordePeer))
 
 
 def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
@@ -40,8 +38,12 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
     )
     rng = Random(seed)
     capacities = [rng.randint(4, 10) for _ in range(scale.protocol_size)]
-    duplicate_series = {name: Series(label=f"{name} dups/msg") for name, _ in SYSTEMS}
-    for name, peer_class in SYSTEMS:
+    systems = capacity_aware_systems()
+    duplicate_series = {
+        system.name: Series(label=f"{system.name} dups/msg") for system in systems
+    }
+    for system in systems:
+        name = system.name
         series = Series(label=name)
         for rate in CHURN_RATES:
             trace = poisson_trace(
@@ -51,7 +53,7 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 rng=Random(seed + int(rate * 1000)),
             )
             experiment = ChurnExperiment(
-                peer_class,
+                system,
                 capacities,
                 space_bits=16,
                 seed=seed,

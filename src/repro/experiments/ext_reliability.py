@@ -21,8 +21,8 @@ from random import Random
 from repro.churn.runner import ChurnExperiment
 from repro.churn.trace import poisson_trace
 from repro.experiments.common import ExperimentScale, FigureResult, Series
-from repro.protocol.cam_chord_peer import CamChordPeer
 from repro.protocol.config import ProtocolConfig
+from repro.systems import SystemKind
 
 CHURN_RATES = (0.0, 0.05, 0.15, 0.3)
 DURATION = 120.0
@@ -51,7 +51,7 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 rng=Random(seed + int(rate * 1000)),
             )
             experiment = ChurnExperiment(
-                CamChordPeer,
+                SystemKind.CAM_CHORD,
                 capacities,
                 space_bits=16,
                 seed=seed,

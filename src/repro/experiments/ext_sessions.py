@@ -22,14 +22,12 @@ from random import Random
 from repro.churn.runner import ChurnExperiment
 from repro.churn.trace import session_trace
 from repro.experiments.common import ExperimentScale, FigureResult, Series
-from repro.protocol.cam_chord_peer import CamChordPeer
-from repro.protocol.cam_koorde_peer import CamKoordePeer
+from repro.systems import capacity_aware_systems
 
 #: mean session lifetimes in simulated seconds (30 min .. 1 min)
 MEAN_LIFETIMES = (1800.0, 600.0, 180.0, 60.0)
 
 DURATION = 150.0
-SYSTEMS = (("cam-chord", CamChordPeer), ("cam-koorde", CamKoordePeer))
 
 
 def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
@@ -41,7 +39,8 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
     rng = Random(seed)
     base_size = scale.protocol_size
     capacities = [rng.randint(4, 10) for _ in range(base_size)]
-    for name, peer_class in SYSTEMS:
+    for system in capacity_aware_systems():
+        name = system.name
         series = Series(label=name)
         for lifetime in MEAN_LIFETIMES:
             # arrivals sized so the group roughly sustains its size:
@@ -54,7 +53,7 @@ def run(scale: ExperimentScale, seed: int = 0) -> FigureResult:
                 rng=Random(seed + int(lifetime)),
             )
             experiment = ChurnExperiment(
-                peer_class,
+                system,
                 capacities,
                 space_bits=16,
                 seed=seed,

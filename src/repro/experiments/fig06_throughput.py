@@ -35,6 +35,7 @@ from repro.experiments.common import (
 )
 from repro.metrics.throughput import sustainable_throughput
 from repro.multicast.session import SystemKind
+from repro.systems import all_descriptors, descriptor_for
 
 #: per-link rates swept for the CAM systems (kbps); mean capacity = 700/p
 CAM_PER_LINK_SWEEP = (10.0, 15.0, 25.0, 40.0, 70.0, 100.0, 140.0)
@@ -42,23 +43,29 @@ CAM_PER_LINK_SWEEP = (10.0, 15.0, 25.0, 40.0, 70.0, 100.0, 140.0)
 #: uniform fanouts swept for the baselines
 BASELINE_FANOUT_SWEEP = (4, 8, 16, 32, 64)
 
+#: per-link rate the uniform baselines derive (ignored) capacities with
+BASELINE_PER_LINK = 100.0
+
 MEAN_BANDWIDTH = 700.0
 
-SERIES_ORDER = (
-    SystemKind.CAM_CHORD,
-    SystemKind.CAM_KOORDE,
-    SystemKind.CHORD,
-    SystemKind.KOORDE,
-)
+SERIES_ORDER = tuple(d.kind for d in all_descriptors())
 
 
 def sweep(scale: ExperimentScale) -> list[tuple[SystemKind, float]]:
-    """One point per (system, sweep knob): p for CAMs, k for baselines."""
+    """One point per (system, sweep knob): p for CAMs, k for baselines.
+
+    Which knob a system sweeps follows its fanout policy — the
+    capacity-aware systems sweep the per-link rate ``p``, the uniform
+    baselines sweep the fanout ``k``.
+    """
     points: list[tuple[SystemKind, float]] = []
-    for kind in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE):
-        points.extend((kind, per_link) for per_link in CAM_PER_LINK_SWEEP)
-    for kind in (SystemKind.CHORD, SystemKind.KOORDE):
-        points.extend((kind, float(fanout)) for fanout in BASELINE_FANOUT_SWEEP)
+    for system in all_descriptors():
+        knobs = (
+            CAM_PER_LINK_SWEEP
+            if system.capacity_aware
+            else BASELINE_FANOUT_SWEEP
+        )
+        points.extend((system.kind, float(knob)) for knob in knobs)
     return points
 
 
@@ -67,14 +74,16 @@ def run_point(
 ) -> tuple[str, float, float]:
     """Measure one sweep point: (series label, x, throughput)."""
     kind, knob = point
-    if kind.capacity_aware:
-        group = bandwidth_group(kind, scale, per_link_kbps=knob, seed=seed)
-        x = MEAN_BANDWIDTH / knob
-    else:
-        group = bandwidth_group(
-            kind, scale, per_link_kbps=100.0, uniform_fanout=int(knob), seed=seed
-        )
-        x = knob
+    policy = descriptor_for(kind).fanout
+    per_link, uniform_fanout = policy.group_build_args(knob, BASELINE_PER_LINK)
+    group = bandwidth_group(
+        kind,
+        scale,
+        per_link_kbps=per_link,
+        uniform_fanout=uniform_fanout,
+        seed=seed,
+    )
+    x = policy.configured_average_fanout(knob, MEAN_BANDWIDTH)
     throughput = averaged_over_sources(
         group, scale, lambda r, s: sustainable_throughput(r, s)
     )

@@ -25,15 +25,22 @@ from repro.experiments.common import (
     run_sweep,
 )
 from repro.metrics.throughput import sustainable_throughput
-from repro.multicast.session import SystemKind
+from repro.systems import capacity_aware_systems, descriptor_for
 
 UPPER_BOUNDS = (800.0, 1000.0, 1200.0, 1400.0, 1600.0)
 LOWER_BOUND = 400.0
 PER_LINK = 100.0
 
-PAIRS = (
-    (SystemKind.CAM_CHORD, SystemKind.CHORD, "cam-chord over chord"),
-    (SystemKind.CAM_KOORDE, SystemKind.KOORDE, "cam-koorde over koorde"),
+#: (CAM system, its baseline, series label) — each capacity-aware system
+#: is compared against the baseline its descriptor names.
+PAIRS = tuple(
+    (
+        system.kind,
+        system.baseline,
+        f"{system.name} over {descriptor_for(system.baseline).name}",
+    )
+    for system in capacity_aware_systems()
+    if system.baseline is not None
 )
 
 

@@ -87,6 +87,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extI", "ext_sessions",
             "FastTrack-style session churn workload (Section 5.1)",
         ),
+        ExperimentInfo(
+            "extJ", "ext_parity",
+            "static-vs-live parity: one MemberSpec, two worlds, same tree",
+        ),
     )
 }
 

@@ -24,6 +24,7 @@ from repro.idspace.ring import IdentifierSpace
 from repro.multicast.delivery import MulticastResult
 from repro.multicast.session import MulticastGroup, SystemKind
 from repro.overlay.base import Node, RingSnapshot
+from repro.systems import DEFAULT_UNIFORM_FANOUT, SystemDescriptor, resolve
 
 
 class MulticastService:
@@ -58,18 +59,22 @@ class MulticastService:
         self,
         group_name: str,
         member_names: Iterable[str],
-        kind: SystemKind = SystemKind.CAM_CHORD,
+        kind: "SystemKind | SystemDescriptor | str" = SystemKind.CAM_CHORD,
         per_link_kbps: float = 100.0,
-        uniform_fanout: int = 2,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     ) -> MulticastGroup:
         """Establish a dedicated overlay for one group.
 
-        Members are mapped onto the group's ring with salted SHA-1 of
-        ``"group/host"`` (distinct groups place the same host at
-        unrelated identifiers, as independent hash functions would).
+        ``kind`` is anything the system registry resolves — a
+        :class:`SystemKind`, a descriptor, or a canonical name such as
+        ``"cam-chord"``.  Members are mapped onto the group's ring with
+        salted SHA-1 of ``"group/host"`` (distinct groups place the
+        same host at unrelated identifiers, as independent hash
+        functions would).
         """
         if group_name in self._groups:
             raise ValueError(f"group {group_name!r} already exists")
+        system = resolve(kind)
         names = list(member_names)
         unknown = [n for n in names if n not in self._hosts]
         if unknown:
@@ -79,7 +84,7 @@ class MulticastService:
         mapping = assign_identifiers(
             [f"{group_name}/{name}" for name in names], self._space
         )
-        model = CapacityModel(per_link_kbps, minimum=kind.min_capacity)
+        model = CapacityModel(per_link_kbps, minimum=system.min_capacity)
         nodes = []
         by_name: dict[str, int] = {}
         for name in names:
@@ -94,7 +99,7 @@ class MulticastService:
                 )
             )
         snapshot = RingSnapshot(self._space, nodes)
-        group = MulticastGroup.from_snapshot(kind, snapshot, uniform_fanout)
+        group = MulticastGroup.from_snapshot(system, snapshot, uniform_fanout)
         self._groups[group_name] = group
         self._members[group_name] = by_name
         return group

@@ -1,17 +1,22 @@
 """High-level public API: build a group, multicast from any member.
 
 A :class:`MulticastGroup` bundles one membership snapshot with one of
-the four overlay systems and its dissemination routine.  This is the
-facade most library users (and all examples) interact with::
+the registered overlay systems and its dissemination routine.  This is
+the facade most library users (and all examples) interact with::
 
     group = MulticastGroup.build(
-        SystemKind.CAM_CHORD,
+        "cam-chord",                    # or SystemKind.CAM_CHORD
         bandwidths_kbps=[550, 900, 410, ...],
         per_link_kbps=100,
         seed=7,
     )
     result = group.multicast_from(group.random_member())
     print(result.average_path_length())
+
+Which systems exist, how their overlays are built and which routine
+disseminates a message all live in the :mod:`repro.systems` registry —
+the group just resolves its :class:`~repro.systems.SystemDescriptor`
+and delegates.
 
 Any member can be the source ("any source multicast"): each source
 implicitly gets its own tree, which is how the flooding approach
@@ -20,51 +25,25 @@ spreads forwarding load across the whole group (Section 5.1).
 
 from __future__ import annotations
 
-import enum
 from random import Random
 from typing import Sequence
 
-from repro.capacity.model import (
-    CAM_CHORD_MIN_CAPACITY,
-    CAM_KOORDE_MIN_CAPACITY,
-    CapacityModel,
-)
+from repro.capacity.model import CapacityModel
 from repro.idspace.ring import IdentifierSpace
-from repro.multicast.cam_chord import cam_chord_multicast
-from repro.multicast.cam_koorde import cam_koorde_multicast
 from repro.multicast.delivery import MulticastResult
-from repro.multicast.koorde_flood import koorde_flood
 from repro.overlay.base import Node, Overlay, RingSnapshot, build_snapshot
-from repro.overlay.cam_chord import CamChordOverlay
-from repro.overlay.cam_koorde import CamKoordeOverlay
-from repro.overlay.chord import ChordOverlay
-from repro.overlay.koorde import KoordeOverlay
+from repro.systems import (
+    DEFAULT_UNIFORM_FANOUT,
+    MemberSpec,
+    SystemDescriptor,
+    SystemKind,
+    resolve,
+)
 
 #: Identifier-space width used throughout the paper's evaluation.
 DEFAULT_SPACE_BITS = 19
 
-
-class SystemKind(enum.Enum):
-    """The four systems compared in Section 6."""
-
-    CAM_CHORD = "cam-chord"
-    CAM_KOORDE = "cam-koorde"
-    CHORD = "chord"
-    KOORDE = "koorde"
-
-    @property
-    def capacity_aware(self) -> bool:
-        """True for the paper's contributions, False for the baselines."""
-        return self in (SystemKind.CAM_CHORD, SystemKind.CAM_KOORDE)
-
-    @property
-    def min_capacity(self) -> int:
-        """The smallest capacity the overlay construction accepts."""
-        if self is SystemKind.CAM_KOORDE:
-            return CAM_KOORDE_MIN_CAPACITY
-        if self is SystemKind.CAM_CHORD:
-            return CAM_CHORD_MIN_CAPACITY
-        return 1
+__all__ = ["DEFAULT_SPACE_BITS", "MulticastGroup", "SystemKind"]
 
 
 class MulticastGroup:
@@ -74,8 +53,12 @@ class MulticastGroup:
     for each multicast group" (Section 2) — hence group == overlay.
     """
 
-    def __init__(self, kind: SystemKind, overlay: Overlay) -> None:
-        self._kind = kind
+    def __init__(
+        self,
+        kind: "SystemKind | SystemDescriptor | str",
+        overlay: Overlay,
+    ) -> None:
+        self._system = resolve(kind)
         self._overlay = overlay
 
     # -- construction ---------------------------------------------------
@@ -83,36 +66,44 @@ class MulticastGroup:
     @classmethod
     def from_snapshot(
         cls,
-        kind: SystemKind,
+        kind: "SystemKind | SystemDescriptor | str",
         snapshot: RingSnapshot,
-        uniform_fanout: int = 2,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     ) -> "MulticastGroup":
         """Wrap an existing membership snapshot.
 
         ``uniform_fanout`` configures the capacity-oblivious baselines
         (Chord base / Koorde degree) and is ignored by the CAM systems.
         """
-        overlay: Overlay
-        if kind is SystemKind.CAM_CHORD:
-            overlay = CamChordOverlay(snapshot)
-        elif kind is SystemKind.CAM_KOORDE:
-            overlay = CamKoordeOverlay(snapshot)
-        elif kind is SystemKind.CHORD:
-            overlay = ChordOverlay(snapshot, base=uniform_fanout)
-        elif kind is SystemKind.KOORDE:
-            overlay = KoordeOverlay(snapshot, degree=uniform_fanout)
-        else:  # pragma: no cover - exhaustive enum
-            raise ValueError(f"unknown system kind: {kind}")
-        return cls(kind, overlay)
+        system = resolve(kind)
+        overlay = system.build_overlay(snapshot, uniform_fanout=uniform_fanout)
+        return cls(system, overlay)
+
+    @classmethod
+    def from_member_spec(
+        cls,
+        kind: "SystemKind | SystemDescriptor | str",
+        spec: MemberSpec,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
+    ) -> "MulticastGroup":
+        """Materialize the static world of a frozen membership spec.
+
+        The same spec handed to a :class:`~repro.protocol.cluster.Cluster`
+        yields the live world of the same members — the basis of the
+        static-vs-live parity harness (:mod:`repro.systems.parity`).
+        """
+        system = resolve(kind)
+        snapshot = spec.snapshot(min_capacity=system.min_capacity)
+        return cls.from_snapshot(system, snapshot, uniform_fanout=uniform_fanout)
 
     @classmethod
     def build(
         cls,
-        kind: SystemKind,
+        kind: "SystemKind | SystemDescriptor | str",
         bandwidths_kbps: Sequence[float],
         per_link_kbps: float,
         space_bits: int = DEFAULT_SPACE_BITS,
-        uniform_fanout: int = 2,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
         seed: int = 0,
     ) -> "MulticastGroup":
         """Build a group from member upload bandwidths.
@@ -122,7 +113,8 @@ class MulticastGroup:
         Members are placed at hash-uniform identifiers drawn with
         ``seed``.
         """
-        model = CapacityModel(per_link_kbps, minimum=kind.min_capacity)
+        system = resolve(kind)
+        model = CapacityModel(per_link_kbps, minimum=system.min_capacity)
         capacities = model.capacities(list(bandwidths_kbps))
         snapshot = build_snapshot(
             IdentifierSpace(space_bits),
@@ -130,14 +122,19 @@ class MulticastGroup:
             bandwidths=list(bandwidths_kbps),
             rng=Random(seed),
         )
-        return cls.from_snapshot(kind, snapshot, uniform_fanout=uniform_fanout)
+        return cls.from_snapshot(system, snapshot, uniform_fanout=uniform_fanout)
 
     # -- introspection ----------------------------------------------------
 
     @property
     def kind(self) -> SystemKind:
-        """Which of the four systems this group runs."""
-        return self._kind
+        """Which of the registered systems this group runs."""
+        return self._system.kind
+
+    @property
+    def system(self) -> SystemDescriptor:
+        """The full descriptor of the system this group runs."""
+        return self._system
 
     @property
     def overlay(self) -> Overlay:
@@ -166,22 +163,7 @@ class MulticastGroup:
         """
         if source.ident not in self.snapshot:
             raise KeyError(f"source {source.ident} is not a group member")
-        if self._kind is SystemKind.CAM_CHORD:
-            assert isinstance(self._overlay, CamChordOverlay)
-            return cam_chord_multicast(self._overlay, source)
-        if self._kind is SystemKind.CAM_KOORDE:
-            assert isinstance(self._overlay, CamKoordeOverlay)
-            return cam_koorde_multicast(self._overlay, source)
-        if self._kind is SystemKind.CHORD:
-            assert isinstance(self._overlay, ChordOverlay)
-            # The Figure 6 "Chord" baseline: the paper's balanced
-            # region-splitting multicast with a *uniform* fanout equal
-            # to the finger base, ignoring node bandwidth.  (El-Ansary's
-            # unbalanced broadcast is available separately as
-            # ``chord_broadcast`` and compared in the balance ablation.)
-            return cam_chord_multicast(self._overlay, source)
-        assert isinstance(self._overlay, KoordeOverlay)
-        return koorde_flood(self._overlay, source)
+        return self._system.run_multicast(self._overlay, source)
 
     def lookup(self, start: Node, key: int):
         """Resolve the member responsible for ``key`` starting at

@@ -5,12 +5,23 @@ all peers of one live overlay session.  It is the test bench for the
 "resilient" half of the paper: build the ring, let the maintenance
 protocol converge, then join/leave/crash peers while multicasting and
 measure what arrives.
+
+A cluster is normally built from a *system* (anything the
+:mod:`repro.systems` registry resolves: a descriptor, a
+:class:`~repro.systems.SystemKind`, or a canonical name like
+``"cam-chord"``) plus either a plain capacity list or a frozen
+:class:`~repro.systems.MemberSpec`; the descriptor supplies the live
+peer class and the capacity policy (the uniform baselines pin every
+peer's capacity to the configured fanout).  Passing a raw
+:class:`~repro.protocol.base_peer.BasePeer` subclass instead of a
+system is still supported for protocol-level tests that want to drive
+one peer implementation directly, with capacities taken verbatim.
 """
 
 from __future__ import annotations
 
 from random import Random
-from typing import Sequence, Type
+from typing import Sequence, Type, Union
 
 from repro.idspace.ring import IdentifierSpace
 from repro.overlay.base import Node, RingSnapshot, sample_identifiers
@@ -19,7 +30,16 @@ from repro.protocol.config import ProtocolConfig
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.network import Network
+from repro.systems import (
+    DEFAULT_UNIFORM_FANOUT,
+    MemberSpec,
+    SystemDescriptor,
+    SystemKind,
+    resolve,
+)
 from repro.trace.tracer import TRACER
+
+SystemLike = Union[SystemDescriptor, SystemKind, str, Type[BasePeer]]
 
 
 class Cluster:
@@ -27,15 +47,27 @@ class Cluster:
 
     def __init__(
         self,
-        peer_class: Type[BasePeer],
-        capacities: Sequence[int],
+        system: SystemLike,
+        members: "MemberSpec | Sequence[int]",
         bandwidths: Sequence[float] | None = None,
         space_bits: int = 19,
         config: ProtocolConfig | None = None,
         latency: LatencyModel | None = None,
         loss_rate: float = 0.0,
         seed: int = 0,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
     ) -> None:
+        if isinstance(system, type) and issubclass(system, BasePeer):
+            # Legacy escape hatch: drive a peer implementation directly,
+            # capacities verbatim, no registry policy applied.
+            self.system: SystemDescriptor | None = None
+            self._peer_class = system
+        else:
+            self.system = resolve(system)
+            self._peer_class = self.system.live_peer_class()
+        self._uniform_fanout = uniform_fanout
+        if isinstance(members, MemberSpec):
+            space_bits = members.space_bits
         self.space = IdentifierSpace(space_bits)
         self.simulator = Simulator()
         self.network = Network(
@@ -46,24 +78,49 @@ class Cluster:
         )
         self.monitor = DeliveryMonitor()
         self.config = config if config is not None else ProtocolConfig()
-        self._peer_class = peer_class
         self._rng = Random(seed)
         self.peers: dict[int, BasePeer] = {}
 
-        idents = sample_identifiers(len(capacities), self.space.size, self._rng)
-        self._initial: list[BasePeer] = []
-        for index, ident in enumerate(idents):
-            peer = self._make_peer(
-                ident,
-                capacities[index],
-                bandwidths[index] if bandwidths is not None else 0.0,
+        if isinstance(members, MemberSpec):
+            placements = list(
+                zip(members.identifiers, members.capacities, members.bandwidths)
             )
-            self._initial.append(peer)
+        else:
+            capacities = list(members)
+            idents = sample_identifiers(
+                len(capacities), self.space.size, self._rng
+            )
+            placements = [
+                (
+                    ident,
+                    capacities[index],
+                    bandwidths[index] if bandwidths is not None else 0.0,
+                )
+                for index, ident in enumerate(idents)
+            ]
+        self._initial: list[BasePeer] = [
+            self._make_peer(ident, capacity, bandwidth)
+            for ident, capacity, bandwidth in placements
+        ]
+
+    def _effective_capacity(self, capacity: int) -> int:
+        """Apply the system's capacity policy to one member.
+
+        Capacities are clamped to the system's floor, then the fanout
+        policy decides what a live peer runs with — a uniform baseline
+        pins it to the configured fanout (a ``CamChordPeer`` fleet with
+        every capacity pinned to ``k`` *is* live base-``k`` Chord).
+        """
+        if self.system is None:
+            return capacity
+        return self.system.live_capacity(
+            max(capacity, self.system.min_capacity), self._uniform_fanout
+        )
 
     def _make_peer(self, ident: int, capacity: int, bandwidth: float) -> BasePeer:
         peer = self._peer_class(
             ident,
-            capacity,
+            self._effective_capacity(capacity),
             self.network,
             self.space,
             config=self.config,
@@ -244,7 +301,12 @@ class Cluster:
             TRACER.emit(
                 self.simulator.now, "mc", "origin",
                 mid=message_id, source=ident,
-                system=type(peer).__name__, bits=self.space.bits,
+                system=(
+                    self.system.name
+                    if self.system is not None
+                    else type(peer).__name__
+                ),
+                bits=self.space.bits,
                 members=sorted(members),
                 capacities=[
                     [member, self.peers[member].capacity]

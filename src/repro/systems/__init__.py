@@ -1,0 +1,52 @@
+"""The unified system registry: one descriptor per overlay system.
+
+``repro.systems`` is the single extension point for "which systems
+exist": :class:`SystemKind` names them, :class:`SystemDescriptor`
+bundles everything the rest of the codebase needs (capacity floor,
+fanout policy, structural overlay factory, multicast routine, live peer
+class), and the registry resolves kinds and CLI names to descriptors.
+:class:`MemberSpec` freezes one membership both the static and the live
+world can materialize, which is what the parity harness
+(:mod:`repro.systems.parity`, imported lazily to keep the simulator out
+of light-weight callers) builds on.
+"""
+
+from repro.systems.descriptor import (
+    CAPACITY_DERIVED,
+    DEFAULT_UNIFORM_FANOUT,
+    UNIFORM,
+    CapacityDerivedFanout,
+    FanoutPolicy,
+    SystemDescriptor,
+    UniformFanout,
+)
+from repro.systems.kinds import SystemKind
+from repro.systems.registry import (
+    all_descriptors,
+    capacity_aware_systems,
+    descriptor_for,
+    get_system,
+    register,
+    resolve,
+    system_names,
+)
+from repro.systems.spec import MemberSpec
+
+__all__ = [
+    "CAPACITY_DERIVED",
+    "DEFAULT_UNIFORM_FANOUT",
+    "UNIFORM",
+    "CapacityDerivedFanout",
+    "FanoutPolicy",
+    "MemberSpec",
+    "SystemDescriptor",
+    "SystemKind",
+    "UniformFanout",
+    "all_descriptors",
+    "capacity_aware_systems",
+    "descriptor_for",
+    "get_system",
+    "register",
+    "resolve",
+    "system_names",
+]

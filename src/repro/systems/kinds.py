@@ -1,0 +1,37 @@
+"""The four overlay systems of the paper's evaluation, as an enum.
+
+:class:`SystemKind` is the canonical identity of a system; everything
+else about it (capacity awareness, capacity floor, overlay factory,
+multicast routine, live peer class) lives in that system's
+:class:`~repro.systems.descriptor.SystemDescriptor`, looked up through
+the process-global registry.  The enum properties below therefore
+*delegate* to the registry — the enum stays a pure name, and the
+registry stays the single source of truth.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class SystemKind(enum.Enum):
+    """The four systems compared in Section 6 of the paper."""
+
+    CAM_CHORD = "cam-chord"
+    CAM_KOORDE = "cam-koorde"
+    CHORD = "chord"
+    KOORDE = "koorde"
+
+    @property
+    def capacity_aware(self) -> bool:
+        """True for the paper's contributions, False for the baselines."""
+        from repro.systems.registry import descriptor_for
+
+        return descriptor_for(self).capacity_aware
+
+    @property
+    def min_capacity(self) -> int:
+        """The smallest capacity the overlay construction accepts."""
+        from repro.systems.registry import descriptor_for
+
+        return descriptor_for(self).min_capacity

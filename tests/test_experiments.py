@@ -124,7 +124,8 @@ class TestRunnerCli:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
-            "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH", "extI",
+            "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
+            "extI", "extJ",
         }
 
     def test_single_run_prints_and_writes(self, tmp_path, capsys, monkeypatch):
