@@ -10,6 +10,14 @@ committed baseline::
 
     PYTHONPATH=src python -m benchmarks.bench_core            # append entry
     PYTHONPATH=src python -m benchmarks.bench_core --dry-run  # print only
+    PYTHONPATH=src python -m benchmarks.bench_core --quick    # CI perf smoke
+
+``--quick`` is the CI regression gate: it times only the two most
+kernel-sensitive figures (fig6, fig8), compares their cold medians
+against the latest committed ``BENCH_core.json`` entry, writes a small
+result JSON (uploaded as a CI artifact) and fails the process when
+either figure is more than ``--tolerance`` (default 1.3×) slower than
+the committed baseline.  Quick mode never appends to the trajectory.
 
 The figure *values* are asserted elsewhere (pytest benchmarks and
 tier-1 tests); this file measures time only.
@@ -33,6 +41,9 @@ from repro.trace.tracer import TRACER
 
 #: the structural figures that exercise the core hot paths
 CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC")
+
+#: the two most kernel-sensitive figures, gated by the CI perf smoke
+QUICK_FIGURES = ("fig6", "fig8")
 
 #: representative figure for the tracing-overhead measurement
 TRACING_FIGURE = "fig9"
@@ -136,15 +147,29 @@ def measure_systems(scale, seed: int = 0) -> dict:
 
 
 def measure(scale, repeats: int, seed: int = 0) -> dict:
-    """Median cold + warm seconds per core figure, with perf totals."""
+    """Median cold + warm seconds per core figure, with perf totals.
+
+    Each figure's entry carries its *own* counter delta (the perf
+    counters are process-global and monotone; without per-figure
+    scoping the totals would attribute every figure's work to the
+    batch as a whole).
+    """
     figures: dict[str, dict[str, float]] = {}
     before = perf.snapshot()
     for name in CORE_FIGURES:
-        colds = [time_figure(name, scale, seed) for _ in range(repeats)]
-        warm = warm_figure(name, scale, seed)
+        with perf.scoped() as scope:
+            colds = [time_figure(name, scale, seed) for _ in range(repeats)]
+            warm = warm_figure(name, scale, seed)
+        delta = scope.delta
         figures[name] = {
             "cold_median_s": round(statistics.median(colds), 4),
             "warm_s": round(warm, 4),
+            "perf": {
+                "resolves": delta.resolves,
+                "kernel_resolves": delta.kernel_resolves,
+                "kernel_resolves_saved": delta.kernel_resolves_saved,
+                "deliveries": delta.deliveries,
+            },
         }
         print(
             f"{name:6s} cold median {statistics.median(colds):7.3f}s  "
@@ -167,6 +192,60 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
     }
 
 
+def quick_check(
+    scale,
+    repeats: int,
+    seed: int,
+    trajectory_path: Path,
+    result_path: Path,
+    tolerance: float,
+) -> int:
+    """The CI perf smoke: gate fig6/fig8 cold medians on the committed
+    baseline.  Returns a process exit code (1 = regression)."""
+    trajectory = json.loads(trajectory_path.read_text())
+    baseline = trajectory["entries"][-1]
+    if baseline["scale"] != scale.name:
+        raise SystemExit(
+            f"--quick compares against the committed entry (scale "
+            f"{baseline['scale']!r}); run with --scale {baseline['scale']}"
+        )
+    figures: dict[str, dict[str, float]] = {}
+    passed = True
+    for name in QUICK_FIGURES:
+        with perf.scoped() as scope:
+            colds = [time_figure(name, scale, seed) for _ in range(repeats)]
+        median = statistics.median(colds)
+        committed = baseline["figures"][name]["cold_median_s"]
+        ratio = median / committed
+        ok = ratio <= tolerance
+        passed = passed and ok
+        figures[name] = {
+            "cold_median_s": round(median, 4),
+            "baseline_cold_median_s": committed,
+            "ratio": round(ratio, 3),
+            "resolves": scope.delta.resolves,
+            "kernel_resolves": scope.delta.kernel_resolves,
+            "ok": ok,
+        }
+        print(
+            f"{name:6s} cold median {median:7.3f}s  baseline {committed:7.3f}s  "
+            f"ratio {ratio:5.2f}x  [{'ok' if ok else 'REGRESSION'}]"
+        )
+    result = {
+        "scale": scale.name,
+        "repeats": repeats,
+        "tolerance": tolerance,
+        "baseline_recorded_at": baseline["recorded_at"],
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "figures": figures,
+        "passed": passed,
+    }
+    result_path.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"quick result -> {result_path}  ({'pass' if passed else 'FAIL'})")
+    return 0 if passed else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="bench-core",
@@ -179,9 +258,33 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--dry-run", action="store_true", help="measure and print, do not write"
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf smoke: time fig6/fig8 only, compare against the latest"
+        " committed entry, write --quick-out, exit 1 on regression"
+        " (never appends to the trajectory)",
+    )
+    parser.add_argument(
+        "--quick-out",
+        type=Path,
+        default=Path("bench_quick.json"),
+        metavar="PATH",
+        help="where --quick writes its result JSON (CI artifact)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=1.3,
+        help="--quick failure threshold: measured/committed cold-median ratio",
+    )
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
+    if args.quick:
+        return quick_check(
+            scale, args.repeats, args.seed, args.out, args.quick_out, args.tolerance
+        )
     entry = measure(scale, repeats=args.repeats, seed=args.seed)
 
     if args.dry_run:

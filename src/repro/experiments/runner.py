@@ -10,6 +10,8 @@ paper plots — plus shape notes.  ``--out DIR`` additionally writes one
 ``<figure>.txt`` per result.  ``--jobs N`` fans figure runs,
 replication seeds and per-figure sweep points out over N worker
 processes; the tables are bit-for-bit identical to the serial run.
+``--profile`` wraps each figure in cProfile and prints the top 20
+functions by cumulative time.
 """
 
 from __future__ import annotations
@@ -72,6 +74,13 @@ def main(argv: list[str] | None = None) -> int:
         " (inspect with: python -m repro.trace summarize PATH)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each figure under cProfile and print the top 20 functions"
+        " by cumulative time (forces --jobs 1: the profiler only sees"
+        " this process)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="print the experiment names with descriptions and exit",
@@ -94,6 +103,10 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiments: {unknown}; choose from {list(registry.REGISTRY)}"
         )
 
+    if args.profile and args.jobs > 1:
+        print("# --profile forces --jobs 1 (cProfile cannot see worker processes)")
+        args.jobs = 1
+
     scale = resolve_scale(args.scale)
     print(f"# scale={scale.name} n={scale.group_size} sources={scale.sources}")
     if args.out is not None:
@@ -104,9 +117,31 @@ def main(argv: list[str] | None = None) -> int:
 
         TRACER.enable()
 
+    # The perf counters are process-global: without this, a second
+    # main() call in the same interpreter (tests, notebooks) would start
+    # mid-count and any absolute reading would misattribute earlier
+    # work.  The footer itself is delta-based per task, so this is
+    # belt-and-braces for everything *else* that reads the counters.
+    from repro import perf
+
+    perf.reset()
+
     total_started = time.time()
     seeds = [args.seed + offset for offset in range(args.replicate)]
-    runs = run_experiments(names, scale, seeds=seeds, jobs=args.jobs)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        runs = []
+        for name in names:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            runs.extend(run_experiments([name], scale, seeds=seeds, jobs=1))
+            profiler.disable()
+            print(f"# profile[{name}]: top 20 by cumulative time")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    else:
+        runs = run_experiments(names, scale, seeds=seeds, jobs=args.jobs)
     by_name: dict[str, list] = {}
     for run in runs:
         by_name.setdefault(run.name, []).append(run)

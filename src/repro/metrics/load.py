@@ -21,7 +21,9 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from repro import perf
 from repro.multicast.delivery import MulticastResult
+from repro.multicast.kernel import FlatTree
 
 
 @dataclass(frozen=True)
@@ -88,7 +90,19 @@ def flooding_load(
     meaningful.
     """
     per_node: dict[int, float] = {}
+    get = per_node.get
     for result in results:
+        if isinstance(result, FlatTree):
+            # Fused: accumulate straight off the kernel arrays, in
+            # delivery order (same dict insertion order as the
+            # children_counts() path).
+            perf.COUNTERS.array_passes += 1
+            idents = result.snapshot.identifiers
+            counts = result.child_count
+            for index in result.order:
+                ident = idents[index]
+                per_node[ident] = get(ident, 0.0) + counts[index] * message_kbits
+            continue
         for ident, count in result.children_counts().items():
             per_node[ident] = per_node.get(ident, 0.0) + count * message_kbits
     return ForwardingLoad(per_node=per_node)

@@ -17,15 +17,36 @@ quantifies.
 
 from __future__ import annotations
 
+from repro import perf
 from repro.multicast.delivery import MulticastResult
+from repro.multicast.kernel import FlatTree
 from repro.overlay.base import RingSnapshot
 
 
 def allocated_link_bandwidths(
-    result: MulticastResult, snapshot: RingSnapshot
+    result: MulticastResult | FlatTree, snapshot: RingSnapshot
 ) -> dict[int, float]:
     """Per-internal-node allocated bandwidth ``B_x / d_x`` in kbps."""
     allocations: dict[int, float] = {}
+    if isinstance(result, FlatTree):
+        # Fused: one sweep over the kernel arrays, nodes fetched by
+        # member index (no ident->Node dict hop).
+        perf.COUNTERS.array_passes += 1
+        counts = result.child_count
+        nodes = result.snapshot.nodes
+        for index in result.order:
+            count = counts[index]
+            if count == 0:
+                continue
+            node = nodes[index]
+            if node.bandwidth_kbps <= 0:
+                raise ValueError(
+                    f"node {node.ident} has no bandwidth assigned; build the "
+                    "snapshot with per-node bandwidths to use the throughput "
+                    "model"
+                )
+            allocations[node.ident] = node.bandwidth_kbps / count
+        return allocations
     for ident, count in result.children_counts().items():
         if count == 0:
             continue
@@ -39,17 +60,55 @@ def allocated_link_bandwidths(
     return allocations
 
 
-def sustainable_throughput(result: MulticastResult, snapshot: RingSnapshot) -> float:
+def sustainable_throughput(
+    result: MulticastResult | FlatTree, snapshot: RingSnapshot
+) -> float:
     """The session's sustainable data rate in kbps (single-node groups
     have nothing to forward, reported as the source's full bandwidth)."""
+    if isinstance(result, FlatTree):
+        # Fused: running min, no allocation dict at all.  ``min`` over
+        # the same set of quotients is order-insensitive, so this is
+        # bit-identical to the dict-building path.
+        perf.COUNTERS.array_passes += 1
+        counts = result.child_count
+        nodes = result.snapshot.nodes
+        bottleneck = -1.0
+        for index in result.order:
+            count = counts[index]
+            if count == 0:
+                continue
+            node = nodes[index]
+            if node.bandwidth_kbps <= 0:
+                raise ValueError(
+                    f"node {node.ident} has no bandwidth assigned; build the "
+                    "snapshot with per-node bandwidths to use the throughput "
+                    "model"
+                )
+            allocated = node.bandwidth_kbps / count
+            if bottleneck < 0 or allocated < bottleneck:
+                bottleneck = allocated
+        if bottleneck < 0:
+            return snapshot.node_at(result.source_ident).bandwidth_kbps
+        return bottleneck
     allocations = allocated_link_bandwidths(result, snapshot)
     if not allocations:
         return snapshot.node_at(result.source_ident).bandwidth_kbps
     return min(allocations.values())
 
 
-def average_children_per_internal_node(result: MulticastResult) -> float:
+def average_children_per_internal_node(result: MulticastResult | FlatTree) -> float:
     """The Figure 6 x-axis: mean out-degree over non-leaf tree nodes."""
+    if isinstance(result, FlatTree):
+        perf.COUNTERS.array_passes += 1
+        internal = 0
+        total = 0
+        for count in result.child_count:
+            if count > 0:
+                internal += 1
+                total += count
+        if internal == 0:
+            return 0.0
+        return total / internal
     counts = [c for c in result.children_counts().values() if c > 0]
     if not counts:
         return 0.0

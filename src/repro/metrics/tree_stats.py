@@ -1,11 +1,18 @@
-"""Structural statistics of one implicit multicast tree."""
+"""Structural statistics of one implicit multicast tree.
+
+Kernel-built trees (:class:`~repro.multicast.kernel.FlatTree`) are
+summarized in one fused sweep over the flat arrays; object trees take
+the dict-walking path.  Both produce bit-identical statistics (the
+accumulations are integer until the final divisions)."""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
 
+from repro import perf
 from repro.multicast.delivery import MulticastResult
+from repro.multicast.kernel import FlatTree
 
 
 @dataclass(frozen=True)
@@ -33,8 +40,10 @@ class TreeStats:
         return self.receivers == member_count
 
 
-def summarize_tree(result: MulticastResult) -> TreeStats:
+def summarize_tree(result: MulticastResult | FlatTree) -> TreeStats:
     """Compute :class:`TreeStats` from a delivery record."""
+    if isinstance(result, FlatTree):
+        return _summarize_flat(result)
     children = result.children_counts()
     internal = [count for count in children.values() if count > 0]
     leaves = len(children) - len(internal)
@@ -49,4 +58,42 @@ def summarize_tree(result: MulticastResult) -> TreeStats:
         leaf_count=leaves,
         average_children=total_children / len(internal) if internal else 0.0,
         max_children=max(internal) if internal else 0,
+    )
+
+
+def _summarize_flat(tree: FlatTree) -> TreeStats:
+    """All eight statistics in one pass over the kernel arrays."""
+    perf.COUNTERS.array_passes += 1
+    depths = tree.depth_array
+    counts = tree.child_count
+    histogram: Counter[int] = Counter()
+    receivers = 0
+    depth_total = 0
+    depth_max = 0
+    internal = 0
+    children_total = 0
+    children_max = 0
+    for index in tree.order:
+        receivers += 1
+        depth = depths[index]
+        depth_total += depth
+        if depth > depth_max:
+            depth_max = depth
+        histogram[depth] += 1
+        count = counts[index]
+        if count > 0:
+            internal += 1
+            children_total += count
+            if count > children_max:
+                children_max = count
+    others = receivers - 1
+    return TreeStats(
+        receivers=receivers,
+        average_path_length=depth_total / others if others else 0.0,
+        max_path_length=depth_max,
+        histogram=dict(sorted(histogram.items())),
+        internal_count=internal,
+        leaf_count=receivers - internal,
+        average_children=children_total / internal if internal else 0.0,
+        max_children=children_max,
     )

@@ -12,12 +12,18 @@ Four routines, matching the four systems of the paper's evaluation:
 * :func:`koorde_flood` — flooding over plain Koorde's clustered de
   Bruijn links (capacity-oblivious baseline).
 
-Every routine returns a :class:`MulticastResult` recording the implicit
-tree that the collective execution traced out.
+The snapshot-driven routines (:func:`cam_chord_multicast`,
+:func:`cam_koorde_multicast`, :func:`koorde_flood`) execute in the
+flat-array kernel (:mod:`repro.multicast.kernel`) and return a
+:class:`FlatTree` — a lazy view speaking the full
+:class:`MulticastResult` vocabulary.  The traced/live data plane
+(protocol peers, the reliable-multicast service) still records object
+trees via :class:`MulticastResult`.
 """
 
 from repro.multicast.delivery import MulticastResult
-from repro.multicast.cam_chord import cam_chord_multicast
+from repro.multicast.kernel import FlatTree, flood_tree, region_split_tree
+from repro.multicast.cam_chord import cam_chord_multicast, reference_multicast
 from repro.multicast.cam_koorde import cam_koorde_multicast, flood_multicast
 from repro.multicast.chord_broadcast import chord_broadcast
 from repro.multicast.koorde_flood import koorde_flood
@@ -30,7 +36,11 @@ __all__ = [
     "SharedTree",
     "build_shared_tree",
     "MulticastResult",
+    "FlatTree",
+    "flood_tree",
+    "region_split_tree",
     "cam_chord_multicast",
+    "reference_multicast",
     "cam_koorde_multicast",
     "flood_multicast",
     "chord_broadcast",

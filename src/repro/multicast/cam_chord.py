@@ -140,7 +140,7 @@ def select_children(overlay, node: Node, limit: int) -> list[tuple[Node, int]]:
     return [(resolved[child], sublimit) for child, sublimit in regions]
 
 
-def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
+def cam_chord_multicast(overlay, source: Node):
     """Run a full multicast from ``source`` and return the implicit tree.
 
     Accepts a :class:`CamChordOverlay` (capacity-aware) or a plain
@@ -148,10 +148,24 @@ def cam_chord_multicast(overlay, source: Node) -> MulticastResult:
     Figure 6 "Chord" baseline).
 
     Equivalent to the paper's ``x.MULTICAST(msg, x - 1)``: the initial
-    region is the whole ring except the source.  Implemented with an
-    explicit work queue (breadth-first) rather than recursion; the
-    forwarding decisions are identical, and breadth-first order mirrors
-    how the distributed execution unfolds hop by hop.
+    region is the whole ring except the source.  Executed by the
+    flat-array kernel (:mod:`repro.multicast.kernel`): breadth-first
+    over member indices with per-overlay memoized slot tables, edge-
+    for-edge identical to :func:`reference_multicast` (property-tested
+    in ``tests/test_kernel.py``).
+    """
+    from repro.multicast.kernel import region_split_tree
+
+    return region_split_tree(overlay, source)
+
+
+def reference_multicast(overlay, source: Node) -> MulticastResult:
+    """The ``record_delivery``-built object tree of one multicast.
+
+    This is the legacy data plane — one dict insert per delivery, one
+    scalar ``resolve`` per considered slot — kept as the executable
+    specification the kernel is property-tested against; the live
+    protocol peers run the same child selection hop by hop.
     """
     result = MulticastResult(source_ident=source.ident)
     initial_limit = overlay.space.sub(source.ident, 1)

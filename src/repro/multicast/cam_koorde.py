@@ -38,6 +38,11 @@ def flood_multicast(
     CAM-Koorde needs no cap — a node's neighbor count *is* its capacity
     — but the plain-Koorde baseline uses the cap to model nodes that
     refuse work beyond their configured degree.
+
+    This is the ``record_delivery``-built object-tree path, kept as the
+    executable specification of the flood (the kernel in
+    :mod:`repro.multicast.kernel` is property-tested against it) and
+    for capped floods, which the kernel does not model.
     """
     result = MulticastResult(source_ident=source.ident)
     queue: deque[Node] = deque([source])
@@ -63,11 +68,15 @@ def flood_multicast(
     return result
 
 
-def cam_koorde_multicast(overlay: CamKoordeOverlay, source: Node) -> MulticastResult:
+def cam_koorde_multicast(overlay: CamKoordeOverlay, source: Node):
     """Section 4.3 MULTICAST: flood over the CAM-Koorde links.
 
     The out-degree of every node in the implicit tree is bounded by its
     capacity automatically: a node has exactly ``c_x`` neighbors and
-    one of them (its parent) already holds the message.
+    one of them (its parent) already holds the message.  Executed by
+    the flat-array kernel over the overlay's memoized CSR adjacency,
+    edge-for-edge identical to :func:`flood_multicast`.
     """
-    return flood_multicast(overlay, source)
+    from repro.multicast.kernel import flood_tree
+
+    return flood_tree(overlay, source)

@@ -12,18 +12,20 @@ Koorde.
 
 from __future__ import annotations
 
-from repro.multicast.cam_koorde import flood_multicast
-from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import Node
 from repro.overlay.koorde import KoordeOverlay
 
 
-def koorde_flood(overlay: KoordeOverlay, source: Node) -> MulticastResult:
+def koorde_flood(overlay: KoordeOverlay, source: Node):
     """Flood from ``source`` over the Koorde links.
 
     Connectivity note: de Bruijn links plus the ring (every node knows
     predecessor and successor) keep the overlay connected, so the flood
     always reaches every member even when the de Bruijn pointers of a
-    whole region collapse onto one node.
+    whole region collapse onto one node.  Executed by the flat-array
+    kernel (:mod:`repro.multicast.kernel`) over the overlay's memoized
+    CSR adjacency.
     """
-    return flood_multicast(overlay, source)
+    from repro.multicast.kernel import flood_tree
+
+    return flood_tree(overlay, source)

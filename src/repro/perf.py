@@ -27,15 +27,28 @@ class PerfCounters:
     """Cumulative hot-path event counts for one process.
 
     ``resolves`` counts :meth:`RingSnapshot.resolve_index` calls (every
-    ``resolve`` funnels through it); ``multicast_trees`` full implicit
-    tree extractions; ``deliveries`` tree edges recorded.  The cache
-    pairs track the keyed snapshot/group cache in
+    scalar ``resolve`` funnels through it); ``multicast_trees`` full
+    implicit tree extractions; ``deliveries`` tree edges recorded.  The
+    cache pairs track the keyed snapshot/group cache in
     ``repro.experiments.common``.
+
+    The ``kernel_*`` counters instrument the flat-array multicast
+    kernel (:mod:`repro.multicast.kernel`): ``kernel_trees`` trees
+    built by it, ``kernel_resolves`` identifier resolutions spent
+    filling its per-overlay memoized neighbor/slot tables (one-time
+    cost per overlay), ``kernel_resolves_saved`` slot lookups answered
+    from a table that the legacy data plane would have re-resolved, and
+    ``array_passes`` fused single-pass metric sweeps over the kernel's
+    arrays.
     """
 
     resolves: int = 0
     multicast_trees: int = 0
     deliveries: int = 0
+    kernel_trees: int = 0
+    kernel_resolves: int = 0
+    kernel_resolves_saved: int = 0
+    array_passes: int = 0
     group_cache_hits: int = 0
     group_cache_misses: int = 0
     draw_cache_hits: int = 0
@@ -62,6 +75,8 @@ class PerfCounters:
         return (
             f"resolves={self.resolves} trees={self.multicast_trees} "
             f"deliveries={self.deliveries} "
+            f"kernel[trees {self.kernel_trees} fills {self.kernel_resolves} "
+            f"saved {self.kernel_resolves_saved} passes {self.array_passes}] "
             f"cache[group {self.group_cache_hits}h/{self.group_cache_misses}m "
             f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m]"
         )
@@ -85,6 +100,36 @@ def reset() -> None:
     """Zero all counters (tests and benchmark harness)."""
     for f in fields(COUNTERS):
         setattr(COUNTERS, f.name, 0)
+
+
+class scoped:
+    """Context manager measuring the counter delta of one block.
+
+    The counters are process-global and monotone; anything that wants
+    per-figure (or per-benchmark-repetition) attribution must work in
+    deltas.  ``with perf.scoped() as scope: ...; scope.delta`` is that
+    pattern, named::
+
+        with perf.scoped() as scope:
+            run_figure()
+        print(scope.delta.summary())
+
+    ``delta`` is also live *inside* the block (counts so far).
+    """
+
+    def __init__(self) -> None:
+        self._start = snapshot()
+
+    @property
+    def delta(self) -> PerfCounters:
+        return since(self._start)
+
+    def __enter__(self) -> "scoped":
+        self._start = snapshot()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
 
 
 class StopWatch:

@@ -1,0 +1,99 @@
+"""The CI perf-smoke gate (`bench_core --quick`), tested hermetically.
+
+Figure timings are monkeypatched so the gate logic — baseline lookup,
+ratio computation, result JSON, exit code — is exercised without
+multi-second benchmark runs in the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks import bench_core
+
+
+@pytest.fixture
+def trajectory(tmp_path):
+    path = tmp_path / "BENCH_core.json"
+    path.write_text(
+        json.dumps(
+            {
+                "schema": 1,
+                "entries": [
+                    {
+                        "recorded_at": "2026-08-06T00:00:00+00:00",
+                        "scale": "bench",
+                        "figures": {
+                            "fig6": {"cold_median_s": 1.0},
+                            "fig8": {"cold_median_s": 2.0},
+                        },
+                    }
+                ],
+            }
+        )
+    )
+    return path
+
+
+def run_quick(monkeypatch, tmp_path, trajectory, timings):
+    monkeypatch.setattr(
+        bench_core, "time_figure", lambda name, scale, seed=0: timings[name]
+    )
+    result_path = tmp_path / "bench_quick.json"
+    code = bench_core.main(
+        [
+            "--quick",
+            "--out",
+            str(trajectory),
+            "--quick-out",
+            str(result_path),
+        ]
+    )
+    return code, json.loads(result_path.read_text())
+
+
+def test_quick_passes_within_tolerance(monkeypatch, tmp_path, trajectory):
+    code, result = run_quick(
+        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1}
+    )
+    assert code == 0
+    assert result["passed"] is True
+    assert result["figures"]["fig6"]["ratio"] == 1.2
+    assert result["figures"]["fig6"]["baseline_cold_median_s"] == 1.0
+    assert set(result["figures"]) == set(bench_core.QUICK_FIGURES)
+
+
+def test_quick_fails_on_regression_but_still_writes_result(
+    monkeypatch, tmp_path, trajectory
+):
+    code, result = run_quick(
+        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.0 * 1.31}
+    )
+    assert code == 1
+    assert result["passed"] is False
+    assert result["figures"]["fig6"]["ok"] is True
+    assert result["figures"]["fig8"]["ok"] is False
+
+
+def test_quick_rejects_scale_mismatch(monkeypatch, tmp_path, trajectory):
+    monkeypatch.setattr(bench_core, "time_figure", lambda name, scale, seed=0: 0.1)
+    with pytest.raises(SystemExit, match="scale"):
+        bench_core.main(
+            [
+                "--quick",
+                "--scale",
+                "quick",
+                "--out",
+                str(trajectory),
+                "--quick-out",
+                str(tmp_path / "q.json"),
+            ]
+        )
+
+
+def test_quick_never_appends_to_trajectory(monkeypatch, tmp_path, trajectory):
+    before = trajectory.read_text()
+    run_quick(monkeypatch, tmp_path, trajectory, {"fig6": 0.5, "fig8": 0.5})
+    assert trajectory.read_text() == before

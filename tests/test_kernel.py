@@ -1,0 +1,172 @@
+"""Kernel/legacy equivalence: the flat-array trees ARE the object trees.
+
+The flat-array kernel (:mod:`repro.multicast.kernel`) must reproduce
+the ``record_delivery``-built reference recorders *edge for edge* —
+same parents, same depths, same children counts, and the same delivery
+order (the reference dicts' insertion order), because downstream
+consumers iterate the views and their output depends on that order.
+Property-tested here for all four registry systems over random
+memberships, capacities and sources.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.metrics.tree_stats import summarize_tree
+from repro.multicast.cam_chord import reference_multicast
+from repro.multicast.cam_koorde import flood_multicast
+from repro.multicast.kernel import FlatTree, flood_tree, region_split_tree
+from repro.overlay.cam_chord import CamChordOverlay
+from repro.overlay.cam_koorde import CamKoordeOverlay
+from repro.overlay.chord import ChordOverlay
+from repro.overlay.koorde import KoordeOverlay
+from repro.systems import all_descriptors
+from tests.conftest import make_snapshot
+
+memberships = st.sets(st.integers(min_value=0, max_value=1023), min_size=1, max_size=80)
+
+
+def cycle_capacities(caps: list[int], count: int, floor: int) -> list[int]:
+    return [max(floor, caps[i % len(caps)]) for i in range(count)]
+
+
+def assert_same_tree(flat: FlatTree, reference) -> None:
+    """Edge-for-edge, order-for-order equality of the two data planes."""
+    assert isinstance(flat, FlatTree)
+    assert flat.source_ident == reference.source_ident
+    assert flat.messages_sent == reference.messages_sent
+    assert flat.receiver_count == reference.receiver_count
+    # dict equality AND insertion (delivery) order
+    assert flat.parent == reference.parent
+    assert list(flat.parent) == list(reference.parent)
+    assert flat.depth == reference.depth
+    assert list(flat.depth) == list(reference.depth)
+    flat_children = flat.children_counts()
+    ref_children = reference.children_counts()
+    assert flat_children == ref_children
+    assert list(flat_children) == list(ref_children)
+    assert flat.path_length_histogram() == reference.path_length_histogram()
+    assert flat.average_path_length() == reference.average_path_length()
+    assert flat.max_path_length() == reference.max_path_length()
+    assert sorted(flat.internal_nodes()) == sorted(reference.internal_nodes())
+    # the fused one-pass summary equals the dict-walking one exactly
+    assert summarize_tree(flat) == summarize_tree(reference)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    caps=st.lists(st.integers(min_value=2, max_value=30), min_size=1, max_size=8),
+    source_index=st.integers(min_value=0),
+)
+def test_cam_chord_kernel_matches_reference(idents, caps, source_index):
+    ordered = sorted(idents)
+    capacities = cycle_capacities(caps, len(ordered), floor=2)
+    snap = make_snapshot(10, ordered, capacity=capacities)
+    overlay = CamChordOverlay(snap)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    assert_same_tree(
+        region_split_tree(overlay, source), reference_multicast(overlay, source)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    base=st.integers(min_value=2, max_value=16),
+    source_index=st.integers(min_value=0),
+)
+def test_chord_kernel_matches_reference(idents, base, source_index):
+    """The Figure 6 "Chord" baseline: uniform fanout, same splitter."""
+    ordered = sorted(idents)
+    snap = make_snapshot(10, ordered, capacity=2)
+    overlay = ChordOverlay(snap, base=base)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    assert_same_tree(
+        region_split_tree(overlay, source), reference_multicast(overlay, source)
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    caps=st.lists(st.integers(min_value=4, max_value=30), min_size=1, max_size=8),
+    source_index=st.integers(min_value=0),
+)
+def test_cam_koorde_kernel_matches_reference(idents, caps, source_index):
+    ordered = sorted(idents)
+    capacities = cycle_capacities(caps, len(ordered), floor=4)
+    snap = make_snapshot(10, ordered, capacity=capacities)
+    overlay = CamKoordeOverlay(snap)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    assert_same_tree(flood_tree(overlay, source), flood_multicast(overlay, source))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    idents=memberships,
+    degree=st.sampled_from([2, 3, 4, 8, 16]),
+    source_index=st.integers(min_value=0),
+)
+def test_koorde_kernel_matches_reference(idents, degree, source_index):
+    ordered = sorted(idents)
+    snap = make_snapshot(10, ordered, capacity=2)
+    overlay = KoordeOverlay(snap, degree=degree)
+    source = snap.nodes[source_index % len(snap.nodes)]
+    assert_same_tree(flood_tree(overlay, source), flood_multicast(overlay, source))
+
+
+def test_all_sources_match_on_all_registry_systems():
+    """Every source over every registry system, one deterministic ring."""
+    idents = [3, 17, 40, 99, 123, 256, 300, 512, 700, 801, 900, 1011]
+    snap = make_snapshot(10, idents, capacity=[4, 5, 4, 5, 6, 7, 8, 4, 5, 5, 6, 4])
+    for descriptor in all_descriptors():
+        overlay = descriptor.build_overlay(snap, uniform_fanout=4)
+        for source in snap.nodes:
+            flat = descriptor.run_multicast(overlay, source)
+            assert isinstance(flat, FlatTree), descriptor.name
+            if isinstance(overlay, (CamKoordeOverlay, KoordeOverlay)):
+                reference = flood_multicast(overlay, source)
+            else:
+                reference = reference_multicast(overlay, source)
+            assert_same_tree(flat, reference)
+
+
+def test_slot_tables_memoize_across_sources():
+    """A second tree over the same overlay resolves (almost) nothing:
+    the flood CSR is complete after the first build, and the splitter's
+    slot tables answer every revisited (node, slot) from memory."""
+    idents = list(range(0, 1024, 9))
+    snap = make_snapshot(10, idents, capacity=4)
+
+    overlay = CamKoordeOverlay(snap)
+    flood_tree(overlay, snap.nodes[0])
+    before = perf.snapshot()
+    flood_tree(overlay, snap.nodes[1])
+    delta = perf.since(before)
+    assert delta.kernel_resolves == 0  # CSR built once, ever
+
+    chord = CamChordOverlay(snap)
+    region_split_tree(chord, snap.nodes[0])
+    before = perf.snapshot()
+    repeat = region_split_tree(chord, snap.nodes[0])
+    delta = perf.since(before)
+    assert delta.kernel_resolves == 0  # identical tree: pure table hits
+    assert delta.kernel_resolves_saved > 0
+    assert repeat.receiver_count == len(idents)
+
+
+def test_kernel_path_to_source_and_delivery_queries():
+    idents = [1, 50, 200, 400, 600, 800, 1000]
+    snap = make_snapshot(10, idents, capacity=3)
+    overlay = CamChordOverlay(snap)
+    flat = region_split_tree(overlay, snap.nodes[0])
+    reference = reference_multicast(overlay, snap.nodes[0])
+    for ident in idents:
+        assert flat.was_delivered(ident)
+        assert flat.path_to_source(ident) == reference.path_to_source(ident)
+    assert not flat.was_delivered(7)  # never a member
+    flat.verify_exactly_once(set(idents))

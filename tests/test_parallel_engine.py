@@ -158,8 +158,12 @@ class TestPerfCounters:
         group.multicast_from(group.random_member(Random(0)))
         delta = perf.since(before)
         assert delta.multicast_trees == 1
+        assert delta.kernel_trees == 1
         assert delta.deliveries == len(group.snapshot) - 1
-        assert delta.resolves > 0
+        # The kernel resolves into its memoized slot tables, never
+        # through the scalar resolve_index path.
+        assert delta.resolves == 0
+        assert delta.kernel_resolves > 0
         assert "trees=1" in delta.summary()
 
 
@@ -182,3 +186,50 @@ class TestRunnerCli:
     def test_jobs_rejects_zero(self, capsys):
         with pytest.raises(SystemExit):
             main(["extC", "--jobs", "0"])
+
+    def test_footer_counts_identical_across_repeat_invocations(self, capsys):
+        """Regression: the perf counters are process-global, so a second
+        main() call in the same interpreter used to start mid-count.
+        The footer must attribute identical per-figure counts whether
+        or not earlier figures ran in this process."""
+        clear_caches()
+        assert main(["extC", "--scale", "quick"]) == 0
+        first = capsys.readouterr().out
+        clear_caches()
+        assert main(["extC", "--scale", "quick"]) == 0
+        second = capsys.readouterr().out
+        footer = lambda out: next(  # noqa: E731
+            line for line in out.splitlines() if line.startswith("# extC done:")
+        )
+        first_line, second_line = footer(first), footer(second)
+        # strip wall time (machine noise); the counter block must match
+        assert first_line.split("s ", 1)[1] == second_line.split("s ", 1)[1]
+
+    def test_profile_flag_prints_cumulative_table(self, capsys):
+        clear_caches()
+        assert main(["extC", "--scale", "quick", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "# profile[extC]: top 20 by cumulative time" in out
+        assert "cumulative" in out  # pstats column header
+        assert "# extC done: work=" in out  # normal output still present
+
+    def test_profile_forces_serial(self, capsys):
+        clear_caches()
+        assert main(["extC", "--scale", "quick", "--profile", "--jobs", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "# --profile forces --jobs 1" in out
+        assert "(jobs=1)" in out
+
+
+class TestPerfScoped:
+    def test_scoped_measures_only_its_block(self):
+        clear_caches()
+        tiny = SCALES["bench"]
+        group = capacity_group(
+            SystemKind.CAM_CHORD, tiny, UniformCapacity(4, 10), seed=0
+        )
+        group.multicast_from(group.random_member(Random(0)))  # outside work
+        with perf.scoped() as scope:
+            group.multicast_from(group.random_member(Random(1)))
+        assert scope.delta.multicast_trees == 1
+        assert scope.delta.deliveries == len(group.snapshot) - 1
