@@ -28,6 +28,17 @@ class ResilienceReport:
     network_summary: str = ""
 
     @property
+    def has_measurements(self) -> bool:
+        """True when at least one multicast was measured.
+
+        Consumers that aggregate over many reports (the fault-injection
+        campaign averages delivery across hundreds of plans) must skip
+        empty runs, whose ratio properties are deliberately NaN — one
+        unmeasured run would otherwise poison the whole average.
+        """
+        return bool(self.delivery_ratios)
+
+    @property
     def mean_delivery_ratio(self) -> float:
         """Average delivery ratio over all multicasts.
 

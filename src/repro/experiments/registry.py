@@ -91,6 +91,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extJ", "ext_parity",
             "static-vs-live parity: one MemberSpec, two worlds, same tree",
         ),
+        ExperimentInfo(
+            "extK", "ext_faults",
+            "fault-injection campaign: invariant oracles after ring repair",
+        ),
     )
 }
 

@@ -1,0 +1,180 @@
+"""Fault-injection CLI: generate, campaign, replay, shrink.
+
+::
+
+    # one deterministic plan, printed or saved
+    python -m repro.faults gen --system cam-chord --index 3 --out plan.json
+
+    # a campaign over every registered system; failing plans are
+    # shrunk and their minimized repros written next to the results
+    python -m repro.faults campaign --plans 25 --jobs 4 --out-dir faults_out
+
+    # re-run one saved scenario; prints its violations and exits 1 if
+    # any oracle fires — byte-identical output on every invocation
+    python -m repro.faults replay faults_out/min-cam-chord-3.json
+
+    # minimize a failing scenario by hand
+    python -m repro.faults shrink plan.json --out minimal.json
+
+``--peer-class module:Class`` substitutes the live peer implementation
+(capacities verbatim) while keeping the named system's oracles — the
+hook the mutation tests use to prove a deliberately broken peer is
+caught and minimized.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.faults.campaign import (
+    _resolve_peer_class,
+    generate_campaign,
+    run_campaign,
+    run_plan,
+)
+from repro.faults.plan import generate_plan, load_plan, save_plan
+from repro.faults.shrink import shrink_plan
+from repro.systems import system_names
+
+
+def _print_outcome(outcome) -> None:
+    print(outcome.summary())
+    for violation in outcome.violations:
+        print(f"  {violation}")
+
+
+def _cmd_gen(args: argparse.Namespace) -> int:
+    plan = generate_plan(args.system, args.index, args.seed)
+    if args.out:
+        save_plan(plan, args.out)
+        print(f"wrote {args.out}: {plan.describe()}")
+    else:
+        print(plan.describe())
+        for event in plan.events:
+            print(f"  t={event.time:6.2f} {event.action} {event.to_json_dict()}")
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    systems = args.systems.split(",") if args.systems else list(system_names())
+    plans = generate_campaign(systems, args.plans, args.seed)
+    print(
+        f"campaign: {len(plans)} plans "
+        f"({args.plans} x {len(systems)} systems), seed={args.seed}, "
+        f"jobs={args.jobs}"
+    )
+    result = run_campaign(
+        plans,
+        jobs=args.jobs,
+        peer_ref=args.peer_class,
+        progress=None if args.quiet else _print_outcome,
+    )
+    print(result.summary())
+
+    failures = result.failures
+    if failures and args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        peer_class = (
+            _resolve_peer_class(args.peer_class) if args.peer_class else None
+        )
+        for index, outcome in enumerate(failures):
+            minimized, final = shrink_plan(
+                outcome.plan,
+                runner=lambda p: run_plan(p, peer_class=peer_class),
+                log=None if args.quiet else print,
+            )
+            path = os.path.join(
+                args.out_dir, f"min-{minimized.system}-{index}.json"
+            )
+            save_plan(
+                minimized,
+                path,
+                extra={
+                    "violations": [str(v) for v in final.violations],
+                    "original": outcome.plan.to_json_dict(),
+                },
+            )
+            print(f"minimized repro written: {path} ({minimized.describe()})")
+    return 1 if failures else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    plan = load_plan(args.plan)
+    peer_class = _resolve_peer_class(args.peer_class) if args.peer_class else None
+    outcome = run_plan(plan, peer_class=peer_class)
+    _print_outcome(outcome)
+    return 1 if outcome.violations else 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    plan = load_plan(args.plan)
+    peer_class = _resolve_peer_class(args.peer_class) if args.peer_class else None
+    minimized, final = shrink_plan(
+        plan,
+        runner=lambda p: run_plan(p, peer_class=peer_class),
+        log=None if args.quiet else print,
+    )
+    if args.out:
+        save_plan(
+            minimized,
+            args.out,
+            extra={"violations": [str(v) for v in final.violations]},
+        )
+        print(f"wrote {args.out}: {minimized.describe()}")
+    else:
+        _print_outcome(final)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="fault-injection campaigns, replay and shrinking",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("gen", help="generate one deterministic plan")
+    gen.add_argument("--system", required=True, choices=system_names())
+    gen.add_argument("--index", type=int, default=0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", default="")
+    gen.set_defaults(func=_cmd_gen)
+
+    camp = sub.add_parser("campaign", help="run a plan matrix, shrink failures")
+    camp.add_argument(
+        "--systems",
+        default="",
+        help="comma-separated system names (default: all registered)",
+    )
+    camp.add_argument("--plans", type=int, default=25, help="plans per system")
+    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--jobs", type=int, default=1)
+    camp.add_argument("--out-dir", default="", help="where minimized repros go")
+    camp.add_argument("--peer-class", default="", help="module:Class override")
+    camp.add_argument("--quiet", action="store_true")
+    camp.set_defaults(func=_cmd_campaign)
+
+    replay = sub.add_parser("replay", help="re-run one saved scenario")
+    replay.add_argument("plan", help="plan JSON written by save_plan")
+    replay.add_argument("--peer-class", default="", help="module:Class override")
+    replay.set_defaults(func=_cmd_replay)
+
+    shrink = sub.add_parser("shrink", help="minimize a failing scenario")
+    shrink.add_argument("plan", help="plan JSON written by save_plan")
+    shrink.add_argument("--out", default="")
+    shrink.add_argument("--peer-class", default="", help="module:Class override")
+    shrink.add_argument("--quiet", action="store_true")
+    shrink.set_defaults(func=_cmd_shrink)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

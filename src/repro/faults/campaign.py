@@ -1,0 +1,327 @@
+"""Execute fault plans and fan campaigns of them across processes.
+
+:func:`run_plan` is the single-scenario engine: materialize the plan's
+frozen membership, bootstrap the live cluster, replay the fault
+schedule on the simulated clock, quiesce (heal every partition, zero
+every loss rate), wait for the maintenance protocol to repair the
+ring, then multicast under the tracer and evaluate every oracle
+against the causal reconstruction.  The quiesce-then-check structure
+is what makes the oracles *sound*: transient churn may legitimately
+lose messages, but a repaired ring must deliver perfectly — so any
+violation is a protocol bug the shrinker can minimize.
+
+:func:`run_campaign` fans hundreds of generated plans over worker
+processes.  Plans are self-describing values and outcomes are plain
+data, so the pool is a straight ordered map — `--jobs N` output is
+byte-identical to serial, same as the parallel experiment engine
+(:mod:`repro.experiments.parallel`) whose worker-initializer pattern
+this follows.
+"""
+
+from __future__ import annotations
+
+import importlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from random import Random
+from typing import TYPE_CHECKING, Callable, Iterable, Sequence
+
+from repro.churn.resilience import ResilienceReport
+from repro.faults.oracles import (
+    Violation,
+    check_flood_accounting,
+    check_multicast,
+    check_ring,
+)
+from repro.faults.plan import MIN_LIVE_MEMBERS, FaultPlan, generate_plan
+from repro.systems import MemberSpec, get_system
+from repro.trace.causal import MulticastRecord, reconstruct
+from repro.trace.tracer import TRACER
+
+if TYPE_CHECKING:
+    from repro.protocol.base_peer import BasePeer
+    from repro.protocol.cluster import Cluster
+
+#: Stabilization rounds granted for post-fault ring repair before the
+#: convergence oracle gives up.  Generous on purpose: convergence
+#: failures should mean "repair is broken", not "repair is slow".
+MAX_REPAIR_ROUNDS = 400
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """Everything one plan execution produced, as plain data.
+
+    Violations are ordered by evaluation (multicast ordinal, then
+    oracle); two executions of the same plan produce identical
+    outcomes — the determinism contract ``tests/conftest.py`` enforces.
+    """
+
+    plan: FaultPlan
+    violations: tuple[Violation, ...] = ()
+    delivery_ratios: tuple[float, ...] = ()
+    duplicates_per_message: tuple[int, ...] = ()
+    final_membership: int = 0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    @property
+    def measured(self) -> bool:
+        """True when the multicast phase ran (bootstrap + repair ok)."""
+        return bool(self.delivery_ratios)
+
+    def report(self) -> ResilienceReport:
+        """The outcome as the churn layer's standard report shape."""
+        return ResilienceReport(
+            system=self.plan.system,
+            churn_rate=0.0,
+            delivery_ratios=list(self.delivery_ratios),
+            duplicates_per_message=list(self.duplicates_per_message),
+            final_membership=self.final_membership,
+        )
+
+    def summary(self) -> str:
+        verdict = "ok" if self.passed else f"{len(self.violations)} violation(s)"
+        return f"{self.plan.describe()}: {verdict}"
+
+
+def _resolve_peer_class(ref: str) -> type["BasePeer"]:
+    """Import ``module:Class`` — the replay CLI's mutant hook."""
+    module_name, _, class_name = ref.partition(":")
+    if not class_name:
+        raise ValueError(f"peer class ref must be 'module:Class', got {ref!r}")
+    module = importlib.import_module(module_name)
+    return getattr(module, class_name)
+
+
+def _apply_event(cluster: "Cluster", event) -> None:
+    """Apply one fault primitive to the live cluster, rank-resolved."""
+    if event.action in ("crash", "leave"):
+        live = cluster.live_peers()
+        if len(live) <= MIN_LIVE_MEMBERS:
+            return  # never grind the ring below the floor
+        victim = live[event.a % len(live)]
+        cluster.remove_peer(victim.ident, crash=(event.action == "crash"))
+    elif event.action == "join":
+        try:
+            cluster.add_peer(max(event.capacity, 1))
+        except RuntimeError:
+            pass  # no live bootstrap peer left; the ring oracle will say so
+    elif event.action == "partition":
+        live = cluster.live_peers()
+        if len(live) < 2:
+            return
+        first = live[event.a % len(live)]
+        second = live[event.b % len(live)]
+        if first.ident != second.ident:
+            cluster.partition(first.ident, second.ident)
+    elif event.action == "heal":
+        cluster.heal_all_partitions()
+    elif event.action == "loss":
+        cluster.set_loss_rate(event.rate)
+    elif event.action == "kind_loss":
+        cluster.set_kind_loss(event.kind, event.rate)
+
+
+def run_plan(
+    plan: FaultPlan,
+    peer_class: "type[BasePeer] | None" = None,
+) -> PlanOutcome:
+    """Execute one fault plan end to end and judge it with the oracles.
+
+    ``peer_class`` substitutes the live peer implementation while the
+    plan's system descriptor still defines the invariants to hold it to
+    — that is how the mutation tests prove the oracles have teeth.
+    """
+    from repro.protocol.cluster import Cluster
+
+    descriptor = get_system(plan.system)
+    spec = MemberSpec.generate(
+        plan.size,
+        space_bits=plan.space_bits,
+        capacity_range=plan.capacity_range,
+        seed=plan.seed,
+    )
+    cluster = Cluster(
+        peer_class if peer_class is not None else descriptor,
+        spec,
+        seed=plan.seed,
+        uniform_fanout=plan.uniform_fanout,
+    )
+
+    try:
+        cluster.bootstrap()
+    except RuntimeError as exc:
+        return PlanOutcome(
+            plan=plan,
+            violations=(Violation(oracle="bootstrap", detail=str(exc)),),
+        )
+
+    # -- fault window -----------------------------------------------------
+    origin = cluster.simulator.now
+    for event in sorted(plan.events, key=lambda e: (e.time, e.action)):
+        cluster.simulator.call_at(
+            origin + event.time, lambda e=event: _apply_event(cluster, e)
+        )
+    cluster.run(plan.fault_window + 2.0)
+
+    # -- quiesce and repair ----------------------------------------------
+    cluster.clear_fault_injection()
+    converged = False
+    for _ in range(MAX_REPAIR_ROUNDS):
+        if cluster.ring_consistent() and cluster.neighbor_table_accuracy() == 1.0:
+            converged = True
+            break
+        cluster.run(cluster.config.stabilize_interval)
+    if not converged:
+        return PlanOutcome(
+            plan=plan,
+            violations=(
+                Violation(
+                    oracle="convergence",
+                    detail=(
+                        f"ring failed to repair within {MAX_REPAIR_ROUNDS} "
+                        f"stabilization rounds after quiesce "
+                        f"({len(cluster.live_peers())} live peers, "
+                        f"ring_consistent={cluster.ring_consistent()}, "
+                        f"table_accuracy="
+                        f"{cluster.neighbor_table_accuracy():.3f})"
+                    ),
+                ),
+            ),
+            final_membership=len(cluster.live_peers()),
+        )
+
+    # -- multicast phase under the scoped tracer --------------------------
+    violations: list[Violation] = []
+    records: list[MulticastRecord] = []
+    ratios: list[float] = []
+    duplicates: list[int] = []
+    mc_rng = Random(f"faults-mc:{plan.seed}")
+    mark = TRACER.mark()
+    was_enabled = TRACER.enabled
+    TRACER.enable(reset=False)
+    try:
+        floods_before = cluster.network.stats.delivered_by_kind.get("mc_flood", 0)
+        for ordinal in range(plan.multicasts):
+            source = cluster.random_live_peer(mc_rng).ident
+            mid = cluster.multicast_from(source)
+            cluster.run(plan.propagation_window)
+            record = reconstruct(TRACER.events_since(mark), mid)
+            records.append(record)
+            ratios.append(record.delivery_ratio())
+            duplicates.append(len(record.duplicates))
+            violations.extend(check_multicast(record, descriptor, ordinal))
+        floods_after = cluster.network.stats.delivered_by_kind.get("mc_flood", 0)
+    finally:
+        if not was_enabled:
+            TRACER.disable()
+        TRACER.truncate(mark)
+
+    violations.extend(
+        check_flood_accounting(records, descriptor, floods_after - floods_before)
+    )
+    violations.extend(check_ring(cluster))
+
+    return PlanOutcome(
+        plan=plan,
+        violations=tuple(violations),
+        delivery_ratios=tuple(ratios),
+        duplicates_per_message=tuple(duplicates),
+        final_membership=len(cluster.live_peers()),
+    )
+
+
+# -- campaigns ----------------------------------------------------------------
+
+
+@dataclass
+class CampaignResult:
+    """Aggregate over one campaign's plan outcomes."""
+
+    outcomes: list[PlanOutcome] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[PlanOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.passed]
+
+    @property
+    def plans_run(self) -> int:
+        return len(self.outcomes)
+
+    def mean_delivery(self) -> float | None:
+        """Average delivery over *measured* runs, or None if none were.
+
+        Guarded through :attr:`ResilienceReport.has_measurements` — an
+        outcome that never reached the multicast phase reports NaN
+        ratios by design and must not poison the campaign average.
+        """
+        measured = [
+            outcome.report()
+            for outcome in self.outcomes
+            if outcome.report().has_measurements
+        ]
+        if not measured:
+            return None
+        return sum(report.mean_delivery_ratio for report in measured) / len(measured)
+
+    def summary(self) -> str:
+        mean = self.mean_delivery()
+        delivery = f"{mean:.4f}" if mean is not None else "n/a"
+        return (
+            f"{self.plans_run} plans, {len(self.failures)} failing, "
+            f"mean delivery {delivery}"
+        )
+
+
+def _run_task(task: tuple[FaultPlan, str | None]) -> PlanOutcome:
+    """Worker entry point (module-level so the pool can pickle it)."""
+    plan, peer_ref = task
+    peer_class = _resolve_peer_class(peer_ref) if peer_ref else None
+    return run_plan(plan, peer_class=peer_class)
+
+
+def run_campaign(
+    plans: Sequence[FaultPlan],
+    jobs: int = 1,
+    peer_ref: str | None = None,
+    progress: Callable[[PlanOutcome], None] | None = None,
+) -> CampaignResult:
+    """Run every plan, optionally across ``jobs`` worker processes.
+
+    Outcomes come back in plan order regardless of worker scheduling,
+    so serial and parallel campaigns aggregate byte-identically; the
+    mutant peer travels as a ``module:Class`` reference because classes
+    resolve fine by name in a fresh worker but test-local subclasses do
+    not always pickle by value.
+    """
+    tasks = [(plan, peer_ref) for plan in plans]
+    result = CampaignResult()
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            outcome = _run_task(task)
+            result.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return result
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for outcome in pool.map(_run_task, tasks, chunksize=1):
+            result.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return result
+
+
+def generate_campaign(
+    systems: Iterable[str],
+    plans_per_system: int,
+    campaign_seed: int = 0,
+) -> list[FaultPlan]:
+    """The deterministic plan matrix of one campaign invocation."""
+    return [
+        generate_plan(system, index, campaign_seed)
+        for system in systems
+        for index in range(plans_per_system)
+    ]

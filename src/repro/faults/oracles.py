@@ -1,0 +1,248 @@
+"""Invariant oracles evaluated after every multicast of a fault plan.
+
+Each oracle inspects one reconstructed
+:class:`~repro.trace.causal.MulticastRecord` (or the cluster itself)
+and reports :class:`Violation` values — structured, hashable, and
+citing the trace-causal lost hop so a failure names the exact
+(sender, receiver, reason) where propagation died instead of just a
+ratio below 1.0.
+
+The oracles run *after quiescence*: the campaign injects faults, heals
+the network, waits for the maintenance protocol to repair the ring,
+and only then multicasts.  On a correct implementation every oracle
+therefore passes — delivery is complete over the frozen live
+membership, tree systems deliver exactly once, no node forwards past
+its capacity, and the successor ring matches ground truth.  A
+violation on a converged ring is a protocol bug, not bad luck.
+
+Violations identify multicasts by plan-local *ordinal* (0-based send
+order), never by raw message id: message ids come from a process-global
+counter, so they differ between runs that share one process and runs
+that do not.  Ordinals make violation sets byte-comparable across
+serial, parallel and replay executions — the determinism property the
+shrinker and the tests lean on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.trace.causal import Hop, MulticastRecord, lost_hops
+
+if TYPE_CHECKING:
+    from repro.protocol.cluster import Cluster
+    from repro.systems import SystemDescriptor
+
+#: Names of every per-multicast and cluster-level oracle, for docs/CLI.
+ORACLES = (
+    "bootstrap",
+    "convergence",
+    "delivery",
+    "duplicates",
+    "fanout",
+    "ring",
+    "flood-accounting",
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle failure, fully describable without the live objects.
+
+    ``multicast`` is the plan-local ordinal (-1 for cluster-level
+    oracles that are not tied to one message).  ``members`` lists the
+    affected identifiers; ``lost`` the formatted causal lost hops.
+    """
+
+    oracle: str
+    detail: str
+    multicast: int = -1
+    members: tuple[int, ...] = ()
+    lost: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        where = f" mc#{self.multicast}" if self.multicast >= 0 else ""
+        body = f"[{self.oracle}]{where} {self.detail}"
+        if self.lost:
+            body += "".join(f"\n    lost hop: {line}" for line in self.lost)
+        return body
+
+
+def _format_hop(member: int, hop: Hop) -> str:
+    return (
+        f"member {member}: {hop.sender} -> {hop.receiver} "
+        f"({hop.event}) at t={hop.time:.3f}"
+    )
+
+
+# -- per-multicast oracles ----------------------------------------------------
+
+
+def check_delivery(record: MulticastRecord, ordinal: int) -> list[Violation]:
+    """Every eligible member (alive at send, did not depart) delivers.
+
+    The failure cites each missing member's causal lost hop — the
+    dropped datagram or the stalled region holder that cut it off.
+    """
+    missing = sorted(record.undelivered)
+    if not missing:
+        return []
+    hops = lost_hops(record)
+    return [
+        Violation(
+            oracle="delivery",
+            multicast=ordinal,
+            detail=(
+                f"{len(missing)} of {len(record.eligible_members)} eligible "
+                f"members undelivered (ratio {record.delivery_ratio():.4f})"
+            ),
+            members=tuple(missing),
+            lost=tuple(
+                _format_hop(member, hops[member])
+                for member in missing
+                if member in hops
+            ),
+        )
+    ]
+
+
+def check_duplicates(
+    record: MulticastRecord, descriptor: "SystemDescriptor", ordinal: int
+) -> list[Violation]:
+    """Tree systems deliver exactly once — region spans never overlap.
+
+    Flood systems legitimately produce duplicates (the dedup layer
+    absorbs them); their accounting is checked by the campaign's
+    flood-accounting oracle instead.
+    """
+    if not descriptor.builds_single_tree or not record.duplicates:
+        return []
+    dupes = sorted({ident for ident, _, _ in record.duplicates})
+    detail_parts = [
+        f"{ident} (again from {sender} at t={when:.3f})"
+        for ident, sender, when in record.duplicates[:5]
+    ]
+    return [
+        Violation(
+            oracle="duplicates",
+            multicast=ordinal,
+            detail=(
+                f"tree system {record.system} delivered duplicates to "
+                f"{len(dupes)} members: " + ", ".join(detail_parts)
+            ),
+            members=tuple(dupes),
+        )
+    ]
+
+
+def check_fanout(
+    record: MulticastRecord, descriptor: "SystemDescriptor", ordinal: int
+) -> list[Violation]:
+    """No node parents more children than its capacity allows.
+
+    The bound is the descriptor's live fanout bound — capacity itself
+    for the CAM systems, capacity plus the documented ring-link slack
+    for floods that also forward over predecessor/successor.
+    """
+    children: dict[int, int] = {}
+    for parent, _child in record.actual_edges():
+        children[parent] = children.get(parent, 0) + 1
+    offenders = []
+    for parent, count in sorted(children.items()):
+        capacity = record.capacities.get(parent)
+        if capacity is None:
+            continue  # joined after origin; no frozen capacity to hold it to
+        if count > descriptor.live_fanout_bound(capacity):
+            offenders.append((parent, count, capacity))
+    if not offenders:
+        return []
+    detail = ", ".join(
+        f"node {parent} fed {count} children (capacity {capacity}, "
+        f"bound {descriptor.live_fanout_bound(capacity)})"
+        for parent, count, capacity in offenders
+    )
+    return [
+        Violation(
+            oracle="fanout",
+            multicast=ordinal,
+            detail=detail,
+            members=tuple(parent for parent, _, _ in offenders),
+        )
+    ]
+
+
+def check_multicast(
+    record: MulticastRecord, descriptor: "SystemDescriptor", ordinal: int
+) -> list[Violation]:
+    """All per-multicast oracles over one causal record."""
+    violations = check_delivery(record, ordinal)
+    violations.extend(check_duplicates(record, descriptor, ordinal))
+    violations.extend(check_fanout(record, descriptor, ordinal))
+    return violations
+
+
+# -- cluster-level oracles ----------------------------------------------------
+
+
+def check_ring(cluster: "Cluster") -> list[Violation]:
+    """The successor ring matches ground truth after the run.
+
+    The repair protocol had its quiescence window; a broken ring now
+    is a convergence failure, not transient churn.
+    """
+    if cluster.ring_consistent():
+        return []
+    live = cluster.live_peers()
+    wrong = []
+    for index, peer in enumerate(live):
+        expected = live[(index + 1) % len(live)].ident
+        if peer.successor != expected:
+            wrong.append((peer.ident, peer.successor, expected))
+    detail = ", ".join(
+        f"{ident}.successor={got} (expected {want})"
+        for ident, got, want in wrong[:5]
+    )
+    return [
+        Violation(
+            oracle="ring",
+            detail=f"{len(wrong)} stale successor pointers: {detail}",
+            members=tuple(ident for ident, _, _ in wrong),
+        )
+    ]
+
+
+def check_flood_accounting(
+    records: list[MulticastRecord],
+    descriptor: "SystemDescriptor",
+    delivered_floods: int,
+) -> list[Violation]:
+    """Flood datagram accounting balances against the network counters.
+
+    On a quiesced ring with no loss, every ``mc_flood`` datagram the
+    network delivered is either some member's first delivery or a
+    recorded duplicate: ``delivered == Σ (first_deliveries - 1 +
+    duplicates)`` over the phase's multicasts (the source's own
+    delivery rides no datagram).  An imbalance means a delivery the
+    dedup layer never accounted for — precisely the books a broken
+    duplicate-suppression mutant cooks.
+    """
+    if descriptor.builds_single_tree or not records:
+        return []
+    expected = sum(
+        (len(record.deliveries) - 1) + len(record.duplicates)
+        for record in records
+    )
+    if delivered_floods == expected:
+        return []
+    return [
+        Violation(
+            oracle="flood-accounting",
+            detail=(
+                f"network delivered {delivered_floods} mc_flood datagrams "
+                f"but per-member accounting explains {expected} "
+                f"(first deliveries + recorded duplicates over "
+                f"{len(records)} multicasts)"
+            ),
+        )
+    ]

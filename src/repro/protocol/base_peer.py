@@ -131,6 +131,16 @@ class BasePeer:
         self._successor_strikes = 0
         self._join_in_flight = False
         self._departing_gracefully = False
+        # Last-resort contacts for islanded recovery, most recent last.
+        # A freshly joined peer whose sole successor dies before the
+        # first stabilize has an empty neighbor table and no other way
+        # back into the ring (fault-injection plans hit exactly this
+        # join/crash race); the cache keeps the bootstrap node and the
+        # members recent stabilize rounds proved alive.
+        self._contact_cache: list[int] = []
+
+    #: Islanded-recovery contacts kept per peer (see ``_contact_cache``).
+    CONTACT_CACHE_SIZE = 16
 
     #: Evict the successor after this many consecutive RPC failures.
     #: Eviction also purges the node from the neighbor table, so the
@@ -193,6 +203,7 @@ class BasePeer:
             outcome.resolve(self.alive)
             return outcome
         self._join_in_flight = True
+        self._remember_contact(bootstrap)
 
         def process() -> Generator[Any, Any, None]:
             try:
@@ -204,6 +215,7 @@ class BasePeer:
             self._join_in_flight = False
             self.predecessor = None
             self.successors = [successor]
+            self._remember_contact(successor)
             self._go_live()
             if TRACER.enabled:
                 TRACER.emit(
@@ -323,6 +335,10 @@ class BasePeer:
                 if ident != self.ident and ident not in merged:
                     merged.append(ident)
             self.successors = merged[: self.config.successor_list_size]
+            for ident in self.successors:
+                # get_info round-tripped, so these are fresh, live-ish
+                # contacts — exactly what islanded recovery needs later.
+                self._remember_contact(ident)
             if TRACER.enabled:
                 TRACER.emit(
                     self.simulator.now, "proto", "stabilize",
@@ -334,13 +350,21 @@ class BasePeer:
             self.successors = [self.ident]
         if self.successor == self.ident:
             # Islanded (every listed successor failed): re-attach via the
-            # closest clockwise link still in the neighbor table.
+            # closest clockwise link still in the neighbor table, or —
+            # with no links left at all — through the most recently seen
+            # cached contact, the same last resort a real deploy uses
+            # when every learned neighbor has failed.  A dead contact
+            # costs a few strike rounds, gets evicted (which purges it
+            # from the cache too), and the next round tries the one
+            # before it.
             links = self.routing_links()
             if links:
                 best = min(
                     links, key=lambda link: self.space.segment_size(self.ident, link)
                 )
                 self.successors = [best]
+            elif self._contact_cache:
+                self.successors = [self._contact_cache[-1]]
         return
 
     def _fix_one_neighbor(self) -> Generator[Any, Any, None]:
@@ -367,6 +391,27 @@ class BasePeer:
         else:
             self.neighbor_table[key] = resolved
 
+    def remember_contacts(self, idents: Iterable[int]) -> None:
+        """Seed the islanded-recovery cache before joining.
+
+        A real deployment's bootstrap handout is a *list* of members,
+        not one address; a joiner whose sole successor dies before the
+        first stabilize needs a second contact or it is lost to the
+        ring forever (no member knows it, it knows no member).
+        """
+        for ident in idents:
+            self._remember_contact(ident)
+
+    def _remember_contact(self, ident: int) -> None:
+        """Refresh ``ident`` in the islanded-recovery contact cache."""
+        if ident == self.ident:
+            return
+        if ident in self._contact_cache:
+            self._contact_cache.remove(ident)
+        self._contact_cache.append(ident)
+        if len(self._contact_cache) > self.CONTACT_CACHE_SIZE:
+            self._contact_cache.pop(0)
+
     def _purge_link(self, ident: int) -> None:
         """Remove a node we believe dead from all local state."""
         self.successors = [s for s in self.successors if s != ident]
@@ -374,6 +419,10 @@ class BasePeer:
             del self.neighbor_table[key]
         if self.predecessor == ident:
             self.predecessor = None
+        if ident in self._contact_cache:
+            # The contact earned an eviction — do not keep re-adopting a
+            # node the strike counter has already proven dead.
+            self._contact_cache.remove(ident)
 
     def _check_predecessor_once(self) -> Generator[Any, Any, None]:
         if self.predecessor is None or self.predecessor == self.ident:

@@ -207,6 +207,12 @@ class Cluster:
             if ident not in self.peers:
                 break
         peer = self._make_peer(ident, capacity, bandwidth)
+        # Hand the joiner a bootstrap *list* (evenly spaced live
+        # members), not just the one join target: if its successor dies
+        # before the first stabilize, the cached contacts are its only
+        # way back into a ring that does not know it exists yet.
+        seeds = live[:: max(1, len(live) // 4)][:4]
+        peer.remember_contacts(p.ident for p in seeds)
         peer.join(self._rng.choice(live).ident)
         return peer
 
@@ -217,6 +223,32 @@ class Cluster:
             peer.crash()
         else:
             peer.leave()
+
+    # -- fault injection --------------------------------------------------
+
+    def partition(self, a: int, b: int) -> None:
+        """Sever all traffic between two members (both directions)."""
+        self.network.partition(a, b)
+
+    def heal_all_partitions(self) -> None:
+        """Undo every active partition (the campaign quiesce step)."""
+        self.network.heal_all()
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the global iid datagram loss probability."""
+        self.network.set_loss_rate(loss_rate)
+
+    def set_kind_loss(self, kind: str, loss_rate: float) -> None:
+        """Per-message-kind loss (e.g. starve ``get_info`` to brew a
+        timeout storm, or eat ``mc_region`` handoffs selectively)."""
+        self.network.set_kind_loss(kind, loss_rate)
+
+    def clear_fault_injection(self) -> None:
+        """Heal partitions and zero every loss rate — the network is
+        pristine again (peer state is whatever the faults left)."""
+        self.network.heal_all()
+        self.network.set_loss_rate(0.0)
+        self.network.clear_kind_loss()
 
     def random_live_peer(self, rng: Random | None = None) -> BasePeer:
         """A uniformly random live member."""

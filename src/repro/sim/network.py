@@ -58,11 +58,21 @@ class NetworkStats:
     timeouts: int = 0
     drops_by_kind: dict[str, dict[str, int]] = field(default_factory=dict)
     timeouts_by_kind: dict[str, int] = field(default_factory=dict)
+    delivered_by_kind: dict[str, int] = field(default_factory=dict)
 
     def count_drop(self, kind: str, reason: str) -> None:
         """Record one dropped datagram of ``kind`` for ``reason``."""
         per_kind = self.drops_by_kind.setdefault(kind, {})
         per_kind[reason] = per_kind.get(reason, 0) + 1
+
+    def count_delivered(self, kind: str) -> None:
+        """Record one delivered datagram of ``kind``.
+
+        The per-kind delivery totals give the fault-injection oracles an
+        exact accounting identity to check: every delivered ``mc_flood``
+        datagram is either a first delivery or a suppressed duplicate.
+        """
+        self.delivered_by_kind[kind] = self.delivered_by_kind.get(kind, 0) + 1
 
     def count_timeout(self, kind: str) -> None:
         """Record one expired request of ``kind``."""
@@ -108,6 +118,7 @@ class Network:
         self._pending: dict[int, Future] = {}
         self._next_request_id = 1
         self._partitioned: set[frozenset[int]] = set()
+        self._kind_loss: dict[str, float] = {}
         self.stats = NetworkStats()
 
     @property
@@ -145,11 +156,40 @@ class Network:
         if TRACER.enabled:
             TRACER.emit(self._sim.now, "net", "heal", a=a, b=b)
 
+    def heal_all(self) -> None:
+        """Undo every active partition (deterministic pair order)."""
+        for pair in sorted(self._partitioned, key=sorted):
+            a, b = sorted(pair)
+            self.heal(a, b)
+
+    def partitions(self) -> tuple[tuple[int, int], ...]:
+        """The currently severed host pairs, sorted."""
+        return tuple(sorted(tuple(sorted(pair)) for pair in self._partitioned))
+
     def set_loss_rate(self, loss_rate: float) -> None:
         """Change the iid message-loss probability."""
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
         self._loss_rate = loss_rate
+
+    def set_kind_loss(self, kind: str, loss_rate: float) -> None:
+        """Lossy-by-kind: drop ``kind`` datagrams iid at ``loss_rate``.
+
+        Layered on top of the global loss model — the fault-injection
+        primitive behind timeout storms (starve the maintenance RPC
+        kinds) and selective multicast loss.  A rate of ``0`` removes
+        the kind's entry.
+        """
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss rate must be in [0, 1), got {loss_rate}")
+        if loss_rate == 0.0:
+            self._kind_loss.pop(kind, None)
+        else:
+            self._kind_loss[kind] = loss_rate
+
+    def clear_kind_loss(self) -> None:
+        """Remove every per-kind loss rate."""
+        self._kind_loss.clear()
 
     # -- datagrams --------------------------------------------------------
 
@@ -191,6 +231,17 @@ class Network:
                     **self._trace_fields(kind, payload),
                 )
             return
+        kind_rate = self._kind_loss.get(kind, 0.0)
+        if kind_rate and self._rng.random() < kind_rate:
+            self.stats.dropped_loss += 1
+            self.stats.count_drop(kind, "loss")
+            if TRACER.enabled:
+                TRACER.emit(
+                    self._sim.now, "net", "drop",
+                    src=sender, dst=recipient, kind=kind, reason="loss",
+                    **self._trace_fields(kind, payload),
+                )
+            return
         if self._loss_rate and self._rng.random() < self._loss_rate:
             self.stats.dropped_loss += 1
             self.stats.count_drop(kind, "loss")
@@ -218,6 +269,7 @@ class Network:
             future = self._pending.pop(message.request_id, None)
             if future is not None and not future.done:
                 self.stats.delivered += 1
+                self.stats.count_delivered(message.kind)
                 if TRACER.enabled:
                     TRACER.emit(
                         self._sim.now, "net", "deliver",
@@ -239,6 +291,7 @@ class Network:
                 )
             return
         self.stats.delivered += 1
+        self.stats.count_delivered(message.kind)
         if TRACER.enabled:
             TRACER.emit(
                 self._sim.now, "net", "deliver",

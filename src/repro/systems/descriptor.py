@@ -132,7 +132,14 @@ class SystemDescriptor:
     receiver set and depth profile are structural invariants).
     ``baseline`` names the capacity-oblivious counterpart a CAM system
     is evaluated against (Figure 7), ``None`` for the baselines
-    themselves.
+    themselves.  ``fanout_slack`` is the number of delivery-tree
+    children a live node may legitimately have *beyond* its capacity —
+    zero for every system whose degree bound is the paper's
+    ``degree <= capacity`` invariant, and 2 for the plain-Koorde
+    baseline, whose flood forwards over the ring links (predecessor and
+    successor) in addition to its uniform de Bruijn window.  The
+    fault-injection fanout oracle checks against
+    ``capacity + fanout_slack``.
     """
 
     kind: SystemKind
@@ -144,6 +151,7 @@ class SystemDescriptor:
     peer_loader: Callable[[], type["BasePeer"]]
     builds_single_tree: bool
     baseline: SystemKind | None = None
+    fanout_slack: int = 0
 
     @property
     def name(self) -> str:
@@ -172,3 +180,8 @@ class SystemDescriptor:
     def live_capacity(self, capacity: int, uniform_fanout: int) -> int:
         """Capacity for a live peer built from a member's capacity."""
         return self.fanout.live_capacity(capacity, uniform_fanout)
+
+    def live_fanout_bound(self, capacity: int) -> int:
+        """Most delivery-tree children a live node of ``capacity`` may
+        have without violating the system's degree invariant."""
+        return capacity + self.fanout_slack

@@ -228,6 +228,10 @@ register(
         multicast_routine=_koorde_cast,
         peer_loader=_koorde_peer,
         builds_single_tree=False,
+        # The live flood forwards over predecessor and successor on top
+        # of the uniform de Bruijn window (KoordePeer.flood_links), so
+        # the delivery-tree degree bound is capacity + 2.
+        fanout_slack=2,
     )
 )
 

@@ -140,6 +140,17 @@ class Tracer:
         """Events appended after ``mark`` was taken."""
         return tuple(self._events[mark:])
 
+    def truncate(self, mark: int) -> None:
+        """Drop every event appended after ``mark`` was taken.
+
+        The scoped-capture pattern: a harness that enables the tracer
+        only for its own measurement (``mark`` → enable → capture via
+        :meth:`events_since` → disable → ``truncate(mark)``) leaves the
+        buffer exactly as it found it, so back-to-back captures in one
+        process do not accumulate events.
+        """
+        del self._events[mark:]
+
 
 #: The one tracer every instrumentation point checks.
 TRACER = Tracer()

@@ -51,6 +51,27 @@ def random_snapshot(
     return RingSnapshot(IdentifierSpace(bits), nodes)
 
 
+def assert_plan_deterministic(plan, peer_class=None):
+    """Run one fault plan twice and demand identical outcomes.
+
+    The seed-determinism contract of :mod:`repro.faults`: every byte of
+    a plan's execution derives from the plan's own fields, so two runs
+    in one process (sharing the global message-id counter, the tracer
+    and any other process state) still produce the same violation set,
+    delivery ratios and duplicate counts.  Returns the first outcome so
+    callers can go on to assert about its content.
+    """
+    from repro.faults import run_plan
+
+    first = run_plan(plan, peer_class=peer_class)
+    second = run_plan(plan, peer_class=peer_class)
+    assert first.violations == second.violations
+    assert first.delivery_ratios == second.delivery_ratios
+    assert first.duplicates_per_message == second.duplicates_per_message
+    assert first.final_membership == second.final_membership
+    return first
+
+
 @pytest.fixture
 def figure2_snapshot() -> RingSnapshot:
     """The paper's Figure 2 topology: N=32, eight nodes, capacity 3.
