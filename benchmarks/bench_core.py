@@ -15,9 +15,11 @@ committed baseline::
 ``--quick`` is the CI regression gate: it times only the two most
 kernel-sensitive figures (fig6, fig8), compares their cold medians
 against the latest committed ``BENCH_core.json`` entry, writes a small
-result JSON (uploaded as a CI artifact) and fails the process when
-either figure is more than ``--tolerance`` (default 1.3×) slower than
-the committed baseline.  Quick mode never appends to the trajectory.
+result JSON (uploaded as a CI artifact) and fails the process when a
+figure is more than ``--tolerance`` (default 1.3×) slower than the
+committed baseline *and* the slowdown exceeds an absolute noise floor
+(:data:`NOISE_FLOOR_S` — fast figures jitter past any ratio from
+scheduler noise alone).  Quick mode never appends to the trajectory.
 
 The figure *values* are asserted elsewhere (pytest benchmarks and
 tier-1 tests); this file measures time only.
@@ -40,10 +42,20 @@ from repro.experiments.common import clear_caches, resolve_scale
 from repro.trace.tracer import TRACER
 
 #: the structural figures that exercise the core hot paths
-CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC")
+CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC", "extL")
 
-#: the two most kernel-sensitive figures, gated by the CI perf smoke
-QUICK_FIGURES = ("fig6", "fig8")
+#: the most kernel-sensitive figures, gated by the CI perf smoke
+QUICK_FIGURES = ("fig6", "fig8", "extL")
+
+#: a figure only counts as regressed when it is BOTH over the ratio
+#: tolerance AND this much slower in absolute terms — sub-100ms
+#: figures (extL at bench scale) jitter past 1.3x from scheduler noise
+#: alone, and a regression that small is not actionable anyway
+NOISE_FLOOR_S = 0.25
+
+#: decades the trajectory's scale-sweep section records (subprocess-
+#: isolated, so each decade's peak RSS is exact)
+SCALE_SWEEP_DECADES = (1_000, 10_000)
 
 #: representative figure for the tracing-overhead measurement
 TRACING_FIGURE = "fig9"
@@ -146,6 +158,24 @@ def measure_systems(scale, seed: int = 0) -> dict:
     return systems
 
 
+def measure_scale_sweep(seed: int = 0) -> list[dict]:
+    """Per-decade build/multicast/metrics time + exact peak RSS.
+
+    Delegates to the extL harness's subprocess isolation; each entry
+    carries per-system stage timings and that decade's ``peak_rss_mb``.
+    """
+    from repro.experiments.ext_scale import measure_decades_isolated
+
+    results = measure_decades_isolated(SCALE_SWEEP_DECADES, seed)
+    for entry in results:
+        rss = entry["peak_rss_mb"]
+        print(
+            f"scale_sweep n={entry['n']}: peak RSS "
+            f"{rss if rss is not None else 'n/a'}MB"
+        )
+    return results
+
+
 def measure(scale, repeats: int, seed: int = 0) -> dict:
     """Median cold + warm seconds per core figure, with perf totals.
 
@@ -178,6 +208,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
     counters = perf.since(before)
     tracing = measure_tracing(scale, repeats, seed)
     systems = measure_systems(scale, seed)
+    scale_sweep = measure_scale_sweep(seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "scale": scale.name,
@@ -188,7 +219,9 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         "figures": figures,
         "tracing": tracing,
         "systems": systems,
+        "scale_sweep": scale_sweep,
         "perf": asdict(counters),
+        "peak_rss_mb": perf.peak_rss_mb(),
     }
 
 
@@ -212,12 +245,18 @@ def quick_check(
     figures: dict[str, dict[str, float]] = {}
     passed = True
     for name in QUICK_FIGURES:
+        if name not in baseline["figures"]:
+            # the committed entry predates this figure (e.g. extL was
+            # added later) — nothing to regress against until the next
+            # trajectory append
+            print(f"{name:6s} not in committed baseline; skipped")
+            continue
         with perf.scoped() as scope:
             colds = [time_figure(name, scale, seed) for _ in range(repeats)]
         median = statistics.median(colds)
         committed = baseline["figures"][name]["cold_median_s"]
         ratio = median / committed
-        ok = ratio <= tolerance
+        ok = ratio <= tolerance or (median - committed) <= NOISE_FLOOR_S
         passed = passed and ok
         figures[name] = {
             "cold_median_s": round(median, 4),

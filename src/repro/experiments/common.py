@@ -22,9 +22,12 @@ from repro.capacity.distributions import (
     CapacityDistribution,
     UniformBandwidth,
 )
+from repro.capacity.model import CapacityModel
+from repro.idspace.ring import IdentifierSpace
+from repro.membership import exchange
 from repro.multicast.delivery import MulticastResult
 from repro.multicast.session import MulticastGroup, SystemKind
-from repro.overlay.base import RingSnapshot
+from repro.overlay.base import RingSnapshot, build_snapshot
 from repro.systems import DEFAULT_UNIFORM_FANOUT, SystemDescriptor, resolve
 from repro.workloads.groups import GroupSpec, generate_group
 
@@ -158,7 +161,7 @@ def run_sweep(
 # -- keyed snapshot / group caches -------------------------------------------
 
 _DRAW_CACHE: dict[tuple, tuple[float, ...]] = {}
-_SNAPSHOT_CACHE: dict[tuple, RingSnapshot] = {}
+_SNAPSHOT_CACHE: dict[Any, RingSnapshot] = {}
 _GROUP_CACHE: dict[tuple, MulticastGroup] = {}
 
 #: caches are bounded FIFO so unbounded sweeps cannot exhaust memory
@@ -195,6 +198,100 @@ def bandwidth_draws(
     return draws
 
 
+# -- member requests ---------------------------------------------------------
+#
+# A *member request* is a frozen, picklable value object that fully
+# determines one membership snapshot.  Requests are the currency of the
+# shared-memory exchange: the parent resolves each distinct request
+# once, publishes the snapshot as a flat buffer, and workers attach it
+# zero-copy instead of rebuilding (or unpickling) the members per task.
+# Two systems whose snapshots only differ by overlay parameters — e.g.
+# the Chord and Koorde baselines, which share ``min_capacity = 1`` —
+# map to the *same* request and therefore the same physical buffer.
+
+
+@dataclass(frozen=True)
+class BandwidthMembers:
+    """Members of the Figures 6-8 setup: capacities from bandwidths.
+
+    ``build`` replicates :meth:`MulticastGroup.build` exactly — same
+    draws, same capacity model, same identifier placement RNG — so a
+    snapshot resolved through a request is byte-identical to one built
+    through the facade.
+    """
+
+    bandwidth: BandwidthDistribution
+    count: int
+    space_bits: int
+    per_link_kbps: float
+    min_capacity: int
+    seed: int
+
+    def build(self) -> RingSnapshot:
+        draws = bandwidth_draws(self.bandwidth, self.count, self.seed)
+        model = CapacityModel(self.per_link_kbps, minimum=self.min_capacity)
+        capacities = model.capacities(list(draws))
+        return build_snapshot(
+            IdentifierSpace(self.space_bits),
+            capacities,
+            bandwidths=list(draws),
+            rng=Random(self.seed),
+        )
+
+
+@dataclass(frozen=True)
+class CapacityMembers:
+    """Members of the Figures 9-11 setup: capacities drawn directly."""
+
+    spec: GroupSpec
+    seed: int
+
+    def build(self) -> RingSnapshot:
+        return generate_group(self.spec, seed=self.seed)
+
+
+MemberRequest = BandwidthMembers | CapacityMembers
+
+
+def bandwidth_members(
+    kind: "SystemKind | SystemDescriptor | str",
+    scale: ExperimentScale,
+    per_link_kbps: float,
+    bandwidth: UniformBandwidth | None = None,
+    seed: int = 0,
+) -> BandwidthMembers:
+    """The member request behind :func:`bandwidth_group`'s snapshot."""
+    system = resolve(kind)
+    bandwidth = bandwidth if bandwidth is not None else UniformBandwidth()
+    return BandwidthMembers(
+        bandwidth=bandwidth,
+        count=scale.group_size,
+        space_bits=scale.space_bits,
+        per_link_kbps=per_link_kbps,
+        min_capacity=system.min_capacity,
+        seed=seed,
+    )
+
+
+def members_snapshot(request: MemberRequest) -> RingSnapshot:
+    """Resolve a member request to its snapshot.
+
+    Resolution order: a published shared-memory buffer (workers attach
+    zero-copy), then the process-local snapshot cache, then a fresh
+    deterministic build.  All three produce the same members, so the
+    path taken never changes a result — only how the bytes got here.
+    """
+    shared = exchange.acquire(request)
+    if shared is not None:
+        return shared
+    cached = _SNAPSHOT_CACHE.get(request)
+    if cached is not None:
+        return cached
+    snapshot = request.build()
+    _cache_put(_SNAPSHOT_CACHE, request, snapshot, _SNAPSHOT_CACHE_MAX)
+    return snapshot
+
+
 # -- group construction -----------------------------------------------------
 
 
@@ -223,15 +320,16 @@ def bandwidth_group(
         perf.COUNTERS.group_cache_hits += 1
         return cached
     perf.COUNTERS.group_cache_misses += 1
-    draws = bandwidth_draws(bandwidth, scale.group_size, seed)
-    group = MulticastGroup.build(
-        system,
-        draws,
-        per_link_kbps=per_link_kbps,
+    request = BandwidthMembers(
+        bandwidth=bandwidth,
+        count=scale.group_size,
         space_bits=scale.space_bits,
-        uniform_fanout=uniform_fanout,
+        per_link_kbps=per_link_kbps,
+        min_capacity=system.min_capacity,
         seed=seed,
     )
+    snapshot = members_snapshot(request)
+    group = MulticastGroup.from_snapshot(system, snapshot, uniform_fanout=uniform_fanout)
     _cache_put(_GROUP_CACHE, key, group, _GROUP_CACHE_MAX)
     return group
 
@@ -259,11 +357,7 @@ def capacity_group(
     perf.COUNTERS.group_cache_misses += 1
     # The ring itself only depends on (spec, seed): overlays with the
     # same capacity floor (e.g. Chord and Koorde baselines) share it.
-    snapshot_key = (spec, seed)
-    snapshot = _SNAPSHOT_CACHE.get(snapshot_key)
-    if snapshot is None:
-        snapshot = generate_group(spec, seed=seed)
-        _cache_put(_SNAPSHOT_CACHE, snapshot_key, snapshot, _SNAPSHOT_CACHE_MAX)
+    snapshot = members_snapshot(CapacityMembers(spec=spec, seed=seed))
     group = MulticastGroup.from_snapshot(system, snapshot, uniform_fanout=uniform_fanout)
     _cache_put(_GROUP_CACHE, key, group, _GROUP_CACHE_MAX)
     return group

@@ -34,7 +34,8 @@ from typing import Sequence
 
 from repro import perf
 from repro.experiments import registry
-from repro.experiments.common import ExperimentScale, FigureResult
+from repro.experiments.common import ExperimentScale, FigureResult, members_snapshot
+from repro.membership import exchange
 from repro.trace import registry as obs
 from repro.trace.tracer import TRACER, TraceEvent
 
@@ -101,17 +102,47 @@ def execute_task(
     return payload, obs.since(before), time.perf_counter() - started
 
 
-def _init_worker(tracing_enabled: bool) -> None:
-    """Pool initializer: mirror the parent's tracing state.
+def _collect_member_requests(
+    names: Sequence[str], scale: ExperimentScale, seeds: Sequence[int]
+) -> list[object]:
+    """Distinct member requests of a batch, in first-appearance order.
+
+    A figure module opts into shared-memory membership by exposing
+    ``member_requests(scale, seed)``; modules without the hook keep
+    building their members per task (nothing to publish, nothing to
+    attach — the fallback path by construction).
+    """
+    requests: list[object] = []
+    seen: set[object] = set()
+    for name in names:
+        module = registry.load(name)
+        hook = getattr(module, "member_requests", None)
+        if hook is None:
+            continue
+        for seed in seeds:
+            for request in hook(scale, seed):
+                if request not in seen:
+                    seen.add(request)
+                    requests.append(request)
+    return requests
+
+
+def _init_worker(tracing_enabled: bool, member_handles=None) -> None:
+    """Pool initializer: mirror the parent's tracing state and adopt the
+    published membership buffers.
 
     With the fork start method workers inherit the flag anyway, but
     spawn/forkserver workers import a fresh (disabled) tracer — without
-    this they would ship empty event deltas.
+    this they would ship empty event deltas.  ``member_handles`` is the
+    parent's :func:`~repro.membership.exchange.export_handles` map;
+    installing it never attaches — first touch happens inside a task,
+    so the attach lands in that task's observability delta.
     """
     if tracing_enabled:
         TRACER.enable()
     else:
         TRACER.disable()
+    exchange.install(member_handles if member_handles is not None else {})
 
 
 def run_experiments(
@@ -130,13 +161,18 @@ def run_experiments(
         return []
     tasks = plan_tasks(names, scale, seeds)
     if jobs > 1:
-        with ProcessPoolExecutor(
-            max_workers=jobs,
-            initializer=_init_worker,
-            initargs=(TRACER.enabled,),
-        ) as pool:
-            futures = [pool.submit(execute_task, task, scale) for task in tasks]
-            outcomes = [future.result() for future in futures]
+        try:
+            for request in _collect_member_requests(names, scale, seeds):
+                exchange.publish(request, members_snapshot(request))
+            with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_worker,
+                initargs=(TRACER.enabled, exchange.export_handles()),
+            ) as pool:
+                futures = [pool.submit(execute_task, task, scale) for task in tasks]
+                outcomes = [future.result() for future in futures]
+        finally:
+            exchange.release_all()
     else:
         outcomes = [execute_task(task, scale) for task in tasks]
 

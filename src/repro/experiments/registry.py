@@ -95,6 +95,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extK", "ext_faults",
             "fault-injection campaign: invariant oracles after ring repair",
         ),
+        ExperimentInfo(
+            "extL", "ext_scale",
+            "scale sweep over decades of n: build/multicast/metrics time + RSS",
+        ),
     )
 }
 

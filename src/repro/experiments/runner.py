@@ -170,9 +170,14 @@ def main(argv: list[str] | None = None) -> int:
             (args.out / f"{name}.txt").write_text(rendered + "\n")
 
     elapsed = time.time() - total_started
+    # peak RSS is the process high-water mark (see repro.perf.peak_rss)
+    # — under --jobs N the workers' footprints are not included, only
+    # the parent that assembled the results.
+    rss_mb = perf.peak_rss_mb()
+    rss_suffix = f" peak_rss={rss_mb}MB" if rss_mb is not None else ""
     print(
         f"# total: {len(names)} experiment(s) x {args.replicate} seed(s) "
-        f"in {elapsed:.1f}s (jobs={args.jobs})"
+        f"in {elapsed:.1f}s (jobs={args.jobs}){rss_suffix}"
     )
 
     if args.trace is not None:

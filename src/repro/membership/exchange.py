@@ -1,0 +1,92 @@
+"""Process-global exchange of published membership buffers.
+
+The parallel engine moves membership data to workers in three steps:
+
+* **publish** (parent, before the pool starts): one
+  :class:`~repro.membership.buffer.MemberBuffer` per distinct member
+  request, created from the already-built snapshot;
+* **install** (worker, pool initializer): the picklable handle map
+  from :func:`export_handles` — nothing attaches yet, so no counter
+  moves outside a task's observability delta window;
+* **acquire** (worker, inside a task): the snapshot for one request.
+  The first touch of a buffer attaches it (zero-copy) and caches the
+  attachment for the worker's lifetime; every later acquire is a dict
+  hit.  Summing per-task deltas across the pool therefore counts each
+  physical attach exactly once.
+
+:func:`acquire` returns ``None`` for unpublished requests — callers
+fall back to their local build path, which is also what the serial
+engine (nothing published) and the fallback buffers exercise.
+:func:`release_all` closes and unlinks everything published; the
+engine calls it in a ``finally`` so segments cannot leak past a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping
+
+from repro.membership.buffer import BufferHandle, MemberBuffer
+from repro.overlay.base import RingSnapshot
+
+#: parent side: request -> owned buffer (created via publish)
+_published: dict[Hashable, MemberBuffer] = {}
+
+#: worker side: request -> handle (installed by the pool initializer)
+_handles: dict[Hashable, BufferHandle] = {}
+
+#: worker side: request -> attached buffer (first-touch cache)
+_attached: dict[Hashable, MemberBuffer] = {}
+
+
+def publish(key: Hashable, snapshot: RingSnapshot) -> None:
+    """Create (once) and register the buffer for one member request."""
+    if key not in _published:
+        _published[key] = MemberBuffer.from_snapshot(snapshot)
+
+
+def export_handles() -> dict[Hashable, BufferHandle]:
+    """Picklable handles of everything published (pool initargs)."""
+    return {key: buffer.handle() for key, buffer in _published.items()}
+
+
+def install(handles: Mapping[Hashable, BufferHandle]) -> None:
+    """Adopt a parent's handle map (runs in the pool initializer).
+
+    Existing attachments are destroyed, not just dropped: their typed
+    views must be released before the segment mapping can close.
+    ``_attached`` only ever holds non-owning buffers, so destroying
+    them never unlinks a segment some other process still needs.
+    """
+    _handles.clear()
+    while _attached:
+        _, buffer = _attached.popitem()
+        buffer.destroy()
+    _handles.update(handles)
+
+
+def acquire(key: Hashable) -> RingSnapshot | None:
+    """The shared snapshot for one request, or None when unpublished.
+
+    Worker processes attach lazily on first touch; the publishing
+    process answers from its own buffer directly (fork-inherited
+    copies of ``_published`` behave the same way, but explicitly
+    installed handles take precedence so attaches are counted).
+    """
+    buffer = _attached.get(key)
+    if buffer is None:
+        handle = _handles.get(key)
+        if handle is not None:
+            buffer = MemberBuffer.attach(handle)
+            _attached[key] = buffer
+        else:
+            buffer = _published.get(key)
+            if buffer is None:
+                return None
+    return buffer.snapshot()
+
+
+def release_all() -> None:
+    """Destroy every published buffer (close + unlink, idempotent)."""
+    while _published:
+        _, buffer = _published.popitem()
+        buffer.destroy()

@@ -29,23 +29,25 @@ def allocated_link_bandwidths(
     """Per-internal-node allocated bandwidth ``B_x / d_x`` in kbps."""
     allocations: dict[int, float] = {}
     if isinstance(result, FlatTree):
-        # Fused: one sweep over the kernel arrays, nodes fetched by
-        # member index (no ident->Node dict hop).
+        # Fused: one sweep over the kernel arrays, bandwidths read from
+        # the snapshot's flat column (no ident->Node dict hop, no node
+        # tuple materialization on array-backed snapshots).
         perf.COUNTERS.array_passes += 1
         counts = result.child_count
-        nodes = result.snapshot.nodes
+        idents = result.snapshot.identifiers
+        bandwidths = result.snapshot.bandwidths
         for index in result.order:
             count = counts[index]
             if count == 0:
                 continue
-            node = nodes[index]
-            if node.bandwidth_kbps <= 0:
+            bandwidth = bandwidths[index]
+            if bandwidth <= 0:
                 raise ValueError(
-                    f"node {node.ident} has no bandwidth assigned; build the "
+                    f"node {idents[index]} has no bandwidth assigned; build the "
                     "snapshot with per-node bandwidths to use the throughput "
                     "model"
                 )
-            allocations[node.ident] = node.bandwidth_kbps / count
+            allocations[idents[index]] = bandwidth / count
         return allocations
     for ident, count in result.children_counts().items():
         if count == 0:
@@ -71,20 +73,21 @@ def sustainable_throughput(
         # bit-identical to the dict-building path.
         perf.COUNTERS.array_passes += 1
         counts = result.child_count
-        nodes = result.snapshot.nodes
+        idents = result.snapshot.identifiers
+        bandwidths = result.snapshot.bandwidths
         bottleneck = -1.0
         for index in result.order:
             count = counts[index]
             if count == 0:
                 continue
-            node = nodes[index]
-            if node.bandwidth_kbps <= 0:
+            bandwidth = bandwidths[index]
+            if bandwidth <= 0:
                 raise ValueError(
-                    f"node {node.ident} has no bandwidth assigned; build the "
+                    f"node {idents[index]} has no bandwidth assigned; build the "
                     "snapshot with per-node bandwidths to use the throughput "
                     "model"
                 )
-            allocated = node.bandwidth_kbps / count
+            allocated = bandwidth / count
             if bottleneck < 0 or allocated < bottleneck:
                 bottleneck = allocated
         if bottleneck < 0:

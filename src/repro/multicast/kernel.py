@@ -37,15 +37,18 @@ for all four registry systems in ``tests/test_kernel.py``.
 
 from __future__ import annotations
 
+import weakref
 from array import array
 from bisect import bisect_left, bisect_right
-from collections import Counter, deque
+from collections import Counter, OrderedDict, deque
 from math import ceil
 
 from repro import perf
 from repro.multicast.delivery import DuplicateDeliveryError
 from repro.overlay.base import Node, Overlay, RingSnapshot
-from repro.overlay.cam_koorde import CamKoordeOverlay
+from repro.overlay.cam_chord import CamChordOverlay
+from repro.overlay.cam_koorde import CamKoordeOverlay, cam_koorde_neighbor_groups
+from repro.overlay.chord import ChordOverlay
 from repro.overlay.koorde import KoordeOverlay
 from repro.trace.tracer import TRACER
 
@@ -221,57 +224,86 @@ class FlatTree:
 
 # -- per-overlay memoized neighbor tables ------------------------------------
 
+#: Members per chunk of the streaming CSR/fanout builders: identifier
+#: and capacity columns are prefetched chunk-wise into plain lists, so
+#: the inner loops index native ints even when the snapshot's columns
+#: are memoryview casts over a shared-memory buffer.
+_CHUNK = 8192
+
 
 class _FloodState:
     """CSR adjacency of one flood overlay: every neighbor identifier is
-    resolved to a member index exactly once per overlay lifetime."""
+    resolved to a member index exactly once per state lifetime.
+
+    Construction streams over the snapshot's identifier/capacity
+    columns in chunks — no node tuple, no per-member dict — so peak
+    memory stays the O(n) output arrays even on a million-member
+    array-backed snapshot.
+    """
 
     __slots__ = ("offsets", "targets")
 
     def __init__(self, overlay: Overlay) -> None:
         snapshot = overlay.snapshot
         idents = snapshot.identifiers
-        nodes = snapshot.nodes
-        count = len(nodes)
+        count = len(idents)
         size = snapshot.space.size
+        bits = snapshot.space.bits
         offsets = array("l", [0]) * (count + 1)
         targets = array("l")
         append = targets.append
         resolves = 0
         koorde = isinstance(overlay, KoordeOverlay)
-        ring_first = koorde or isinstance(overlay, CamKoordeOverlay)
-        for i, node in enumerate(nodes):
-            seen: set[int] = {i}
-            if ring_first:
-                # predecessor and successor lead the neighbor list
-                # (membership-relative, no resolution needed).
-                for j in ((i - 1) % count, (i + 1) % count):
-                    if j not in seen:
-                        seen.add(j)
-                        append(j)
-            if koorde:
-                # Koorde's pointers are k *consecutive members* starting
-                # at the node responsible for k*x: one resolution, then
-                # a successor walk.
-                j = bisect_left(idents, (overlay.degree * node.ident) % size)
-                if j == count:
-                    j = 0
-                resolves += 1
-                for _ in range(overlay.degree):
-                    if j not in seen:
-                        seen.add(j)
-                        append(j)
-                    j = (j + 1) % count
-            else:
-                for ident in overlay.neighbor_identifiers(node):
-                    j = bisect_left(idents, ident % size)
+        cam_koorde = isinstance(overlay, CamKoordeOverlay)
+        ring_first = koorde or cam_koorde
+        degree = overlay.degree if koorde else 0
+        capacities = snapshot.capacities if cam_koorde else None
+        for start in range(0, count, _CHUNK):
+            chunk = idents[start : start + _CHUNK].tolist()
+            chunk_capacities = (
+                capacities[start : start + _CHUNK].tolist() if cam_koorde else None
+            )
+            for offset, node_ident in enumerate(chunk):
+                i = start + offset
+                seen: set[int] = {i}
+                if ring_first:
+                    # predecessor and successor lead the neighbor list
+                    # (membership-relative, no resolution needed).
+                    for j in ((i - 1) % count, (i + 1) % count):
+                        if j not in seen:
+                            seen.add(j)
+                            append(j)
+                if koorde:
+                    # Koorde's pointers are k *consecutive members*
+                    # starting at the node responsible for k*x: one
+                    # resolution, then a successor walk.
+                    j = bisect_left(idents, (degree * node_ident) % size)
                     if j == count:
                         j = 0
                     resolves += 1
-                    if j not in seen:
-                        seen.add(j)
-                        append(j)
-            offsets[i + 1] = len(targets)
+                    for _ in range(degree):
+                        if j not in seen:
+                            seen.add(j)
+                            append(j)
+                        j = (j + 1) % count
+                else:
+                    if cam_koorde:
+                        neighbor_idents = cam_koorde_neighbor_groups(
+                            node_ident, chunk_capacities[offset], bits
+                        ).all_identifiers()
+                    else:
+                        neighbor_idents = overlay.neighbor_identifiers(
+                            snapshot.node_for_index(i)
+                        )
+                    for ident in neighbor_idents:
+                        j = bisect_left(idents, ident % size)
+                        if j == count:
+                            j = 0
+                        resolves += 1
+                        if j not in seen:
+                            seen.add(j)
+                            append(j)
+                offsets[i + 1] = len(targets)
         self.offsets = offsets
         self.targets = targets
         perf.COUNTERS.kernel_resolves += resolves
@@ -284,14 +316,24 @@ class _SplitState:
     (sequence - 1)`` to the member index responsible for the slot's
     identifier, filled on first touch (-1 = not yet resolved).  Power
     ladders ``c**level`` are shared across nodes of equal fanout.
+
+    The fanout column comes straight from the snapshot's capacity
+    array for the capacity-aware splitter and is a constant fill for
+    the uniform baseline — neither materializes nodes.
     """
 
     __slots__ = ("fanouts", "tables", "_powers")
 
     def __init__(self, overlay: Overlay) -> None:
         snapshot = overlay.snapshot
-        self.fanouts = array("l", [overlay.fanout(node) for node in snapshot.nodes])
-        self.tables: list[array | None] = [None] * len(self.fanouts)
+        count = len(snapshot)
+        if isinstance(overlay, CamChordOverlay):
+            self.fanouts = array("l", snapshot.capacities)
+        elif isinstance(overlay, ChordOverlay):
+            self.fanouts = array("l", [overlay.base]) * count
+        else:
+            self.fanouts = array("l", [overlay.fanout(node) for node in snapshot])
+        self.tables: list[array | None] = [None] * count
         self._powers: dict[int, tuple[int, ...]] = {}
 
     def powers(self, fanout: int, size: int) -> tuple[int, ...]:
@@ -308,20 +350,70 @@ class _SplitState:
         return ladder
 
 
+class _StateCache:
+    """Bounded LRU of per-overlay memoized kernel state.
+
+    Earlier revisions stashed the state as an attribute on the overlay
+    itself, giving it the overlay's lifetime — a long campaign holding
+    many overlays (the keyed group cache alone keeps 32) accumulated
+    every neighbor table ever built.  This cache bounds that: least
+    recently used states are dropped (``kernel_state_evictions``) and
+    rebuilt on next use; states of dead overlays vanish with them via
+    the weak-reference callback.
+
+    Keys are ``id(overlay)`` guarded by a weakref identity check, so
+    overlays need not be hashable and a recycled id can never be
+    mistaken for its dead predecessor.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[int, tuple[weakref.ref, object]] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, overlay: Overlay, factory):
+        key = id(overlay)
+        entry = self._entries.get(key)
+        if entry is not None:
+            ref, state = entry
+            if ref() is overlay:
+                self._entries.move_to_end(key)
+                return state
+            del self._entries[key]  # recycled id of a collected overlay
+        state = factory(overlay)
+        entries = self._entries
+
+        def _on_death(_ref, key=key, entries=entries):
+            entries.pop(key, None)
+
+        entries[key] = (weakref.ref(overlay, _on_death), state)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            perf.COUNTERS.kernel_state_evictions += 1
+        return state
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+#: Most memoized states retained per tree family; sweeps touch their
+#: overlays consecutively, so 8 covers every observed reuse pattern.
+_STATE_CAPACITY = 8
+
+_FLOOD_STATES = _StateCache(_STATE_CAPACITY)
+_SPLIT_STATES = _StateCache(_STATE_CAPACITY)
+
+
 def _flood_state(overlay: Overlay) -> _FloodState:
-    state = getattr(overlay, "_kernel_flood_state", None)
-    if state is None:
-        state = _FloodState(overlay)
-        overlay._kernel_flood_state = state
-    return state
+    return _FLOOD_STATES.get(overlay, _FloodState)
 
 
 def _split_state(overlay: Overlay) -> _SplitState:
-    state = getattr(overlay, "_kernel_split_state", None)
-    if state is None:
-        state = _SplitState(overlay)
-        overlay._kernel_split_state = state
-    return state
+    return _SPLIT_STATES.get(overlay, _SplitState)
 
 
 # -- one-pass tree construction ----------------------------------------------

@@ -54,6 +54,19 @@ class RingSnapshot:
     tuple: the bisect in :meth:`resolve_index` then scans a contiguous
     machine-word buffer instead of chasing ``PyObject`` pointers, which
     is what keeps tree extraction cache-friendly at n = 100,000.
+
+    A snapshot exists in one of two representations:
+
+    * **eager** (the constructor, :meth:`_from_sorted`) — built from
+      :class:`Node` objects; the node tuple and the ident->node dict
+      exist up front, capacity/bandwidth arrays derive lazily;
+    * **array-backed** (:meth:`_from_arrays`) — built from flat
+      identifier/capacity/bandwidth arrays (possibly zero-copy views
+      over a shared-memory :class:`~repro.membership.MemberBuffer`);
+      no per-member objects exist until a consumer actually asks for
+      them, which is what keeps peak memory O(n) machine words at
+      n = 10^6.  ``node_at`` / ``resolve`` / ``successor`` etc. answer
+      by bisect + on-demand :class:`Node` construction.
     """
 
     def __init__(self, space: IdentifierSpace, nodes: Iterable[Node]) -> None:
@@ -72,9 +85,13 @@ class RingSnapshot:
 
     def _init_from_sorted(self, space: IdentifierSpace, ordered: list[Node]) -> None:
         self._space = space
-        self._nodes: Sequence[Node] = tuple(ordered)
-        self._idents = array("Q", [node.ident for node in ordered])
-        self._by_ident = {node.ident: node for node in ordered}
+        self._nodes: Sequence[Node] | None = tuple(ordered)
+        self._idents: Sequence[int] = array("Q", [node.ident for node in ordered])
+        self._by_ident: dict[int, Node] | None = {
+            node.ident: node for node in ordered
+        }
+        self._capacities: Sequence[int] | None = None
+        self._bandwidths: Sequence[float] | None = None
 
     @classmethod
     def _from_sorted(cls, space: IdentifierSpace, ordered: list[Node]) -> "RingSnapshot":
@@ -91,23 +108,70 @@ class RingSnapshot:
         snapshot._init_from_sorted(space, ordered)
         return snapshot
 
+    @classmethod
+    def _from_arrays(
+        cls,
+        space: IdentifierSpace,
+        idents: Sequence[int],
+        capacities: Sequence[int],
+        bandwidths: Sequence[float] | None = None,
+    ) -> "RingSnapshot":
+        """Array-backed constructor: flat columns, no per-member objects.
+
+        ``idents`` must be strictly increasing and inside ``space``
+        (callers — the membership buffer and the streaming builder —
+        produce exactly that); capacities/bandwidths are parallel
+        columns.  The sequences may be ``array`` instances or zero-copy
+        ``memoryview`` casts over shared memory.
+        """
+        if len(idents) == 0:
+            raise ValueError("a ring snapshot needs at least one node")
+        if len(capacities) != len(idents):
+            raise ValueError("idents and capacities must have equal length")
+        if bandwidths is not None and len(bandwidths) != len(idents):
+            raise ValueError("idents and bandwidths must have equal length")
+        snapshot = cls.__new__(cls)
+        snapshot._space = space
+        snapshot._nodes = None
+        snapshot._idents = idents
+        snapshot._by_ident = None
+        snapshot._capacities = capacities
+        snapshot._bandwidths = bandwidths
+        return snapshot
+
     @property
     def space(self) -> IdentifierSpace:
         """The identifier space this membership lives in."""
         return self._space
 
     def __len__(self) -> int:
-        return len(self._nodes)
+        return len(self._idents)
 
     def __iter__(self) -> Iterator[Node]:
-        return iter(self._nodes)
+        if self._nodes is not None:
+            return iter(self._nodes)
+        # Array-backed: yield transient nodes without materializing the
+        # tuple (O(1) extra memory per step, not O(n)).
+        return (self.node_for_index(index) for index in range(len(self._idents)))
 
     def __contains__(self, ident: int) -> bool:
-        return ident in self._by_ident
+        if self._by_ident is not None:
+            return ident in self._by_ident
+        return self._exact_index(ident) is not None
 
     @property
     def nodes(self) -> Sequence[Node]:
-        """All members in identifier order."""
+        """All members in identifier order.
+
+        On an array-backed snapshot this materializes the full node
+        tuple on first access — hot paths (kernel, fused metrics) read
+        :attr:`identifiers` / :attr:`capacities` / :attr:`bandwidths`
+        instead and never pay for it.
+        """
+        if self._nodes is None:
+            self._nodes = tuple(
+                self.node_for_index(index) for index in range(len(self._idents))
+            )
         return self._nodes
 
     @property
@@ -115,12 +179,59 @@ class RingSnapshot:
         """All member identifiers in ring order (compact, read-only)."""
         return self._idents
 
+    @property
+    def capacities(self) -> Sequence[int]:
+        """All member capacities in ring order (compact, read-only)."""
+        if self._capacities is None:
+            self._capacities = array("q", [node.capacity for node in self.nodes])
+        return self._capacities
+
+    @property
+    def bandwidths(self) -> Sequence[float]:
+        """All member upload bandwidths (kbps) in ring order.
+
+        Members built without bandwidths report 0.0, exactly like
+        ``Node.bandwidth_kbps`` defaults to 0.0.
+        """
+        if self._bandwidths is None:
+            self._bandwidths = array("d", [node.bandwidth_kbps for node in self.nodes])
+        return self._bandwidths
+
+    def node_for_index(self, index: int) -> Node:
+        """The member at one position of the sorted identifier array.
+
+        Array-backed snapshots construct the :class:`Node` on demand
+        (equal by value to what an eager snapshot holds at the same
+        position); eager snapshots return the existing object.
+        """
+        if self._nodes is not None:
+            return self._nodes[index]
+        bandwidths = self._bandwidths
+        return Node(
+            ident=self._idents[index],
+            capacity=self._capacities[index],
+            bandwidth_kbps=bandwidths[index] if bandwidths is not None else 0.0,
+        )
+
+    def _exact_index(self, ident: int) -> int | None:
+        """Index of the member with exactly ``ident``, or None."""
+        idents = self._idents
+        position = bisect_left(idents, ident)
+        if position < len(idents) and idents[position] == ident:
+            return position
+        return None
+
     def node_at(self, ident: int) -> Node:
         """Return the member with exactly this identifier."""
-        try:
-            return self._by_ident[ident]
-        except KeyError:
-            raise KeyError(f"no node with identifier {ident}") from None
+        if self._by_ident is not None:
+            try:
+                return self._by_ident[ident]
+            except KeyError:
+                raise KeyError(f"no node with identifier {ident}") from None
+        position = self._exact_index(ident)
+        if position is None:
+            raise KeyError(f"no node with identifier {ident}")
+        return self.node_for_index(position)
 
     def resolve_index(self, ident: int) -> int:
         """Index (into :attr:`nodes`) of the node responsible for ``ident``.
@@ -141,21 +252,21 @@ class RingSnapshot:
         That is the node at ``ident`` itself or, failing that, the first
         node clockwise after it (``successor(ident)``).
         """
-        return self._nodes[self.resolve_index(ident)]
+        return self.node_for_index(self.resolve_index(ident))
 
     def successor(self, node: Node) -> Node:
         """The next member strictly clockwise of ``node``."""
         position = bisect_left(self._idents, node.ident)
-        return self._nodes[(position + 1) % len(self._nodes)]
+        return self.node_for_index((position + 1) % len(self._idents))
 
     def predecessor(self, node: Node) -> Node:
         """The previous member strictly counter-clockwise of ``node``."""
         position = bisect_left(self._idents, node.ident)
-        return self._nodes[(position - 1) % len(self._nodes)]
+        return self.node_for_index((position - 1) % len(self._idents))
 
     def random_node(self, rng: Random) -> Node:
         """Uniformly random member."""
-        return self._nodes[rng.randrange(len(self._nodes))]
+        return self.node_for_index(rng.randrange(len(self._idents)))
 
     def nodes_in_segment(self, x: int, y: int, limit: int | None = None) -> list[Node]:
         """Members whose identifiers lie in the clockwise segment
@@ -184,8 +295,8 @@ class RingSnapshot:
             indices: Iterable[int] = range(low, high)
         else:  # the segment wraps past zero: [start, N) then [0, end]
             indices = (*range(low, total), *range(0, high))
-        nodes = self._nodes
-        out = [nodes[index] for index in indices]
+        take = self.node_for_index
+        out = [take(index) for index in indices]
         if limit is not None:
             del out[limit:]
         return out
@@ -197,7 +308,7 @@ class RingSnapshot:
         skips the constructor's re-sort and re-validation.
         """
         gone = set(idents)
-        survivors = [node for node in self._nodes if node.ident not in gone]
+        survivors = [node for node in self.nodes if node.ident not in gone]
         return RingSnapshot._from_sorted(self._space, survivors)
 
     def with_nodes(self, nodes: Iterable[Node]) -> "RingSnapshot":
@@ -217,7 +328,7 @@ class RingSnapshot:
             if prev.ident == here.ident:
                 raise ValueError(f"duplicate identifier on the ring: {here.ident}")
         merged: list[Node] = []
-        existing = self._nodes
+        existing = self.nodes
         i = j = 0
         while i < len(existing) and j < len(additions):
             if existing[i].ident == additions[j].ident:
@@ -354,6 +465,41 @@ def build_snapshot(
         for index, ident in enumerate(idents)
     ]
     return RingSnapshot(space, nodes)
+
+
+def build_array_snapshot(
+    space: IdentifierSpace,
+    capacities: Sequence[int],
+    bandwidths: Sequence[float] | None = None,
+    rng: Random | None = None,
+) -> RingSnapshot:
+    """:func:`build_snapshot` without ever materializing ``Node`` objects.
+
+    Draws the same identifiers from ``rng`` (identical stream
+    consumption, identical member set), but stores the membership as
+    three flat columns — the representation the million-member tier
+    needs, where 10^6 frozen dataclass instances plus an ident dict
+    would dwarf the 24 MB the arrays take.
+    """
+    rng = rng if rng is not None else Random(0)
+    count = len(capacities)
+    if bandwidths is not None and len(bandwidths) != count:
+        raise ValueError("capacities and bandwidths must have equal length")
+    if count > space.size:
+        raise ValueError(
+            f"cannot place {count} nodes in a space of {space.size} identifiers"
+        )
+    drawn = sample_identifiers(count, space.size, rng)
+    order = sorted(range(count), key=drawn.__getitem__)
+    idents = array("Q", [drawn[i] for i in order])
+    capacity_column = array("q", [capacities[i] for i in order])
+    bandwidth_column = (
+        array("d", [bandwidths[i] for i in order]) if bandwidths is not None else None
+    )
+    lowest = min(capacity_column)
+    if lowest < 1:
+        raise ValueError(f"capacity must be >= 1, got {lowest}")
+    return RingSnapshot._from_arrays(space, idents, capacity_column, bandwidth_column)
 
 
 def sample_identifiers(count: int, size: int, rng: Random) -> list[int]:

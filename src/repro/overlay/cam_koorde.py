@@ -95,12 +95,17 @@ class CamKoordeOverlay(Overlay):
 
     def __init__(self, snapshot: RingSnapshot) -> None:
         super().__init__(snapshot)
-        for node in snapshot:
-            if node.capacity < self.MIN_CAPACITY:
-                raise ValueError(
-                    f"CAM-Koorde requires capacity >= {self.MIN_CAPACITY}, "
-                    f"node {node.ident} has {node.capacity}"
-                )
+        # Validate over the flat capacity column: O(n) machine words,
+        # no node materialization on array-backed snapshots.
+        capacities = snapshot.capacities
+        if min(capacities) < self.MIN_CAPACITY:
+            index = next(
+                i for i, c in enumerate(capacities) if c < self.MIN_CAPACITY
+            )
+            raise ValueError(
+                f"CAM-Koorde requires capacity >= {self.MIN_CAPACITY}, "
+                f"node {snapshot.identifiers[index]} has {capacities[index]}"
+            )
 
     def fanout(self, node: Node) -> int:
         return node.capacity

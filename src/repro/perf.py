@@ -37,9 +37,20 @@ class PerfCounters:
     built by it, ``kernel_resolves`` identifier resolutions spent
     filling its per-overlay memoized neighbor/slot tables (one-time
     cost per overlay), ``kernel_resolves_saved`` slot lookups answered
-    from a table that the legacy data plane would have re-resolved, and
-    ``array_passes`` fused single-pass metric sweeps over the kernel's
-    arrays.
+    from a table that the legacy data plane would have re-resolved,
+    ``kernel_state_evictions`` memoized neighbor states dropped by the
+    kernel's bounded LRU (long campaigns over many overlays re-fill
+    instead of leaking), and ``array_passes`` fused single-pass metric
+    sweeps over the kernel's arrays.
+
+    The ``shm_*`` counters track shared-memory membership buffers
+    (:mod:`repro.membership`): segments created/unlinked by the parent
+    (``shm_creates`` / ``shm_detaches``), zero-copy attaches performed
+    by workers (``shm_attaches`` — each worker attaches a published
+    buffer at most once, inside a task's delta window, so pool-summed
+    deltas count every attach exactly once), and ``shm_fallbacks``
+    buffers that fell back to carrying their arrays by value because
+    shared memory was unavailable or disabled.
     """
 
     resolves: int = 0
@@ -48,11 +59,16 @@ class PerfCounters:
     kernel_trees: int = 0
     kernel_resolves: int = 0
     kernel_resolves_saved: int = 0
+    kernel_state_evictions: int = 0
     array_passes: int = 0
     group_cache_hits: int = 0
     group_cache_misses: int = 0
     draw_cache_hits: int = 0
     draw_cache_misses: int = 0
+    shm_creates: int = 0
+    shm_attaches: int = 0
+    shm_detaches: int = 0
+    shm_fallbacks: int = 0
 
     def __add__(self, other: "PerfCounters") -> "PerfCounters":
         return PerfCounters(
@@ -76,9 +92,12 @@ class PerfCounters:
             f"resolves={self.resolves} trees={self.multicast_trees} "
             f"deliveries={self.deliveries} "
             f"kernel[trees {self.kernel_trees} fills {self.kernel_resolves} "
-            f"saved {self.kernel_resolves_saved} passes {self.array_passes}] "
+            f"saved {self.kernel_resolves_saved} passes {self.array_passes} "
+            f"evict {self.kernel_state_evictions}] "
             f"cache[group {self.group_cache_hits}h/{self.group_cache_misses}m "
-            f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m]"
+            f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m] "
+            f"shm[{self.shm_creates}c/{self.shm_attaches}a/"
+            f"{self.shm_detaches}d/{self.shm_fallbacks}f]"
         )
 
 
@@ -130,6 +149,51 @@ class scoped:
 
     def __exit__(self, *exc_info: object) -> None:
         pass
+
+
+def peak_rss() -> int | None:
+    """This process's peak resident set size in **bytes**, or None.
+
+    On Linux this prefers ``VmHWM`` from ``/proc/self/status``: the
+    high-water mark of the *current* address space, which resets on
+    ``exec``.  ``ru_maxrss`` does not — a child forked from a large
+    parent inherits the parent's mark through the signal struct even
+    across ``exec``, so subprocess-isolated measurements (the extL
+    scale CLI) would report the parent's footprint instead of their
+    own.  Either way the value is a high-water mark that only grows
+    within one process, so per-phase attribution needs a fresh process.
+
+    Fallback is ``resource.getrusage(RUSAGE_SELF).ru_maxrss``, whose
+    unit POSIX leaves unspecified — Linux reports kibibytes, macOS
+    reports bytes; both are normalized to bytes here.  On platforms
+    without the ``resource`` module (Windows) the helper returns
+    ``None`` and callers must skip the measurement.
+    """
+    try:
+        with open("/proc/self/status") as status:
+            for line in status:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    import sys
+
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS reports bytes
+        return maxrss
+    return maxrss * 1024
+
+
+def peak_rss_mb() -> float | None:
+    """:func:`peak_rss` in mebibytes (rounded), or None when unavailable."""
+    rss = peak_rss()
+    if rss is None:  # pragma: no cover - Windows
+        return None
+    return round(rss / (1024 * 1024), 1)
 
 
 class StopWatch:

@@ -28,6 +28,7 @@ def trajectory(tmp_path):
                         "figures": {
                             "fig6": {"cold_median_s": 1.0},
                             "fig8": {"cold_median_s": 2.0},
+                            "extL": {"cold_median_s": 0.5},
                         },
                     }
                 ],
@@ -56,7 +57,7 @@ def run_quick(monkeypatch, tmp_path, trajectory, timings):
 
 def test_quick_passes_within_tolerance(monkeypatch, tmp_path, trajectory):
     code, result = run_quick(
-        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1}
+        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1, "extL": 0.5}
     )
     assert code == 0
     assert result["passed"] is True
@@ -69,12 +70,49 @@ def test_quick_fails_on_regression_but_still_writes_result(
     monkeypatch, tmp_path, trajectory
 ):
     code, result = run_quick(
-        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.0 * 1.31}
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.0 * 1.31, "extL": 0.5},
     )
     assert code == 1
     assert result["passed"] is False
     assert result["figures"]["fig6"]["ok"] is True
     assert result["figures"]["fig8"]["ok"] is False
+
+
+def test_quick_noise_floor_forgives_small_absolute_slowdowns(
+    monkeypatch, tmp_path, trajectory
+):
+    """A fast figure over the ratio tolerance but within the absolute
+    noise floor must not fail the gate — sub-100ms figures jitter past
+    1.3x from scheduler noise alone."""
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5 + bench_core.NOISE_FLOOR_S},
+    )
+    assert code == 0
+    assert result["passed"] is True
+    assert result["figures"]["extL"]["ok"] is True
+    assert result["figures"]["extL"]["ratio"] > 1.3
+
+
+def test_quick_skips_figures_missing_from_baseline(
+    monkeypatch, tmp_path, trajectory
+):
+    """A baseline entry that predates a gated figure must not fail the
+    gate — the figure is skipped until the next trajectory append."""
+    stale = json.loads(trajectory.read_text())
+    del stale["entries"][-1]["figures"]["extL"]
+    trajectory.write_text(json.dumps(stale))
+    code, result = run_quick(
+        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1, "extL": 0.5}
+    )
+    assert code == 0
+    assert result["passed"] is True
+    assert "extL" not in result["figures"]
 
 
 def test_quick_rejects_scale_mismatch(monkeypatch, tmp_path, trajectory):
@@ -95,5 +133,7 @@ def test_quick_rejects_scale_mismatch(monkeypatch, tmp_path, trajectory):
 
 def test_quick_never_appends_to_trajectory(monkeypatch, tmp_path, trajectory):
     before = trajectory.read_text()
-    run_quick(monkeypatch, tmp_path, trajectory, {"fig6": 0.5, "fig8": 0.5})
+    run_quick(
+        monkeypatch, tmp_path, trajectory, {"fig6": 0.5, "fig8": 0.5, "extL": 0.5}
+    )
     assert trajectory.read_text() == before
