@@ -158,6 +158,37 @@ def measure_systems(scale, seed: int = 0) -> dict:
     return systems
 
 
+def measure_scenarios(seed: int = 0) -> dict:
+    """Per-scenario cell timings on the flagship system.
+
+    Each library scenario compiles and runs one cam-chord cell (the
+    full live quiesce-then-check phase plus the static measurement), so
+    the trajectory tracks what a scenario-matrix cell costs and which
+    scenario dominates the extM / CI smoke wall time.
+    """
+    from repro.scenarios import LIBRARY, compile_cell, run_cell, scenario_names
+
+    scenarios: dict[str, dict] = {}
+    for name in scenario_names():
+        started = time.perf_counter()
+        cell = compile_cell(LIBRARY[name], "cam-chord", seed)
+        compile_s = time.perf_counter() - started
+        started = time.perf_counter()
+        outcome = run_cell(cell)
+        run_s = time.perf_counter() - started
+        scenarios[name] = {
+            "compile_s": round(compile_s, 4),
+            "run_s": round(run_s, 4),
+            "events": len(cell.plan.events),
+            "passed": outcome.passed,
+        }
+        print(
+            f"scenario {name:22s} compile {compile_s:7.3f}s  "
+            f"run {run_s:7.3f}s  [{'ok' if outcome.passed else 'FAIL'}]"
+        )
+    return scenarios
+
+
 def measure_scale_sweep(seed: int = 0) -> list[dict]:
     """Per-decade build/multicast/metrics time + exact peak RSS.
 
@@ -208,6 +239,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
     counters = perf.since(before)
     tracing = measure_tracing(scale, repeats, seed)
     systems = measure_systems(scale, seed)
+    scenarios = measure_scenarios(seed)
     scale_sweep = measure_scale_sweep(seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -219,6 +251,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         "figures": figures,
         "tracing": tracing,
         "systems": systems,
+        "scenarios": scenarios,
         "scale_sweep": scale_sweep,
         "perf": asdict(counters),
         "peak_rss_mb": perf.peak_rss_mb(),

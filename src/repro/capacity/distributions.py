@@ -11,6 +11,7 @@ import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from random import Random
+from typing import Any
 
 
 class CapacityDistribution(ABC):
@@ -72,6 +73,43 @@ class UniformCapacity(CapacityDistribution):
         return f"[{self.low}..{self.high}]"
 
 
+@dataclass(frozen=True)
+class HeavyTailCapacity(CapacityDistribution):
+    """Bounded-Pareto capacities: most nodes near ``low``, a few whales.
+
+    The shape the multi-source overlay literature evaluates against
+    (a handful of high-degree hubs carrying most of the fanout): each
+    draw is ``low`` scaled by a Pareto(``alpha``) variate, truncated at
+    ``high``.  Smaller ``alpha`` means heavier tail.
+    """
+
+    low: int = 2
+    high: int = 64
+    alpha: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.low < 1:
+            raise ValueError(f"capacity must be >= 1, got {self.low}")
+        if self.high < self.low:
+            raise ValueError(f"invalid range [{self.low}..{self.high}]")
+        if self.alpha <= 0:
+            raise ValueError(f"alpha must be positive, got {self.alpha}")
+
+    def sample(self, rng: Random) -> int:
+        return min(self.high, int(self.low * rng.paretovariate(self.alpha)))
+
+    def mean(self) -> float:
+        """Empirical mean of the truncated law (no closed form needed
+        at the precision the figure axes use): 4096 quasi-random draws
+        from a fixed stream, so the value is stable."""
+        rng = Random(f"heavytail-mean:{self.low}:{self.high}:{self.alpha}")
+        draws = 4096
+        return sum(self.sample(rng) for _ in range(draws)) / draws
+
+    def __str__(self) -> str:
+        return f"pareto({self.alpha:g})[{self.low}..{self.high}]"
+
+
 class BandwidthDistribution(ABC):
     """A distribution over upload bandwidths in kbps."""
 
@@ -126,6 +164,64 @@ class UniformBandwidth(BandwidthDistribution):
 
     def __str__(self) -> str:
         return f"[{self.low:g}, {self.high:g}] kbps"
+
+
+# -- JSON codec ---------------------------------------------------------------
+#
+# Distributions are frozen dataclasses, so a tagged field dump is a
+# faithful round-trip; scenario specs (repro.scenarios) and group
+# workloads (repro.workloads.GroupSpec) embed them through this codec.
+
+_CAPACITY_KINDS: dict[str, type[CapacityDistribution]] = {}
+_BANDWIDTH_KINDS: dict[str, type[BandwidthDistribution]] = {}
+
+
+def _register_codecs() -> None:
+    for cls in (FixedCapacity, UniformCapacity, HeavyTailCapacity):
+        _CAPACITY_KINDS[cls.__name__] = cls
+    for cls in (UniformBandwidth,):
+        _BANDWIDTH_KINDS[cls.__name__] = cls
+
+
+def distribution_to_json(
+    distribution: CapacityDistribution | BandwidthDistribution,
+) -> dict[str, Any]:
+    """One distribution as a tagged, JSON-safe dict."""
+    name = type(distribution).__name__
+    if name not in _CAPACITY_KINDS and name not in _BANDWIDTH_KINDS:
+        raise TypeError(f"no JSON codec for distribution {name}")
+    out: dict[str, Any] = {"kind": name}
+    out.update(vars(distribution))
+    return out
+
+
+def capacity_distribution_from_json(raw: dict[str, Any]) -> CapacityDistribution:
+    """Inverse of :func:`distribution_to_json` for capacity laws."""
+    kind = dict(raw).pop("kind", None)
+    try:
+        cls = _CAPACITY_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown capacity distribution {kind!r}; "
+            f"choose from {sorted(_CAPACITY_KINDS)}"
+        ) from None
+    return cls(**{k: v for k, v in raw.items() if k != "kind"})
+
+
+def bandwidth_distribution_from_json(raw: dict[str, Any]) -> BandwidthDistribution:
+    """Inverse of :func:`distribution_to_json` for bandwidth laws."""
+    kind = dict(raw).pop("kind", None)
+    try:
+        cls = _BANDWIDTH_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown bandwidth distribution {kind!r}; "
+            f"choose from {sorted(_BANDWIDTH_KINDS)}"
+        ) from None
+    return cls(**{k: v for k, v in raw.items() if k != "kind"})
+
+
+_register_codecs()
 
 
 def expected_log_capacity(distribution: CapacityDistribution) -> float:

@@ -8,13 +8,20 @@ churn.  This package generates churn workloads and measures delivery
 ratio while the maintenance protocol races the departures.
 """
 
-from repro.churn.trace import ChurnEvent, ChurnTrace, poisson_trace, session_trace
+from repro.churn.trace import (
+    ChurnEvent,
+    ChurnTrace,
+    diurnal_trace,
+    poisson_trace,
+    session_trace,
+)
 from repro.churn.runner import ChurnExperiment
 from repro.churn.resilience import ResilienceReport
 
 __all__ = [
     "ChurnEvent",
     "ChurnTrace",
+    "diurnal_trace",
     "poisson_trace",
     "session_trace",
     "ChurnExperiment",

@@ -154,6 +154,7 @@ class ChurnExperiment:
 
 def main(argv: list[str] | None = None) -> int:
     """One-off churn probe: ``python -m repro.churn.runner``."""
+    from repro.experiments.common import SEED_HELP, point_rng
     from repro.systems import system_names
 
     parser = argparse.ArgumentParser(
@@ -168,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--duration", type=float, default=60.0, help="trace seconds")
     parser.add_argument("--size", type=int, default=48, help="initial group size")
-    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=0, help=SEED_HELP)
     parser.add_argument("--loss", type=float, default=0.0, help="datagram loss rate")
     parser.add_argument(
         "--fanout",
@@ -191,13 +192,16 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.churn.trace import poisson_trace
 
-    rng = Random(args.seed)
+    # Named streams (same SHA-512 string-seeding scheme the parallel
+    # engine and scenario compiler use) instead of seed arithmetic, so
+    # every CLI in the repo derives per-purpose randomness identically.
+    rng = point_rng(args.seed, "churn", "capacities")
     capacities = [rng.randint(4, 10) for _ in range(args.size)]
     trace = poisson_trace(
         args.duration,
         join_rate=args.rate,
         depart_rate=args.rate,
-        rng=Random(args.seed + 1),
+        rng=point_rng(args.seed, "churn", "trace"),
     )
     experiment = ChurnExperiment(
         args.system,

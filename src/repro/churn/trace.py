@@ -8,6 +8,9 @@ Two generators:
 * :func:`session_trace` — FastTrack-style sessions (Section 5.1):
   members arrive as a Poisson process and stay for an exponentially
   distributed lifetime, so short-lived members dominate.
+* :func:`diurnal_trace` — a non-homogeneous Poisson process whose rate
+  swings sinusoidally between a trough and a peak (the classic
+  day/night membership cycle), drawn by thinning against the peak.
 """
 
 from __future__ import annotations
@@ -92,6 +95,53 @@ def poisson_trace(
                 kind = ChurnKind.CRASH if crash else ChurnKind.LEAVE
             events.append(ChurnEvent(when, kind))
             when += _exponential(rate, rng)
+    events.sort(key=lambda event: event.time)
+    return ChurnTrace(tuple(events), duration)
+
+
+def diurnal_trace(
+    duration: float,
+    trough_rate: float,
+    peak_rate: float,
+    period: float,
+    crash_fraction: float = 1.0,
+    rng: Random | None = None,
+) -> ChurnTrace:
+    """Sinusoidally modulated churn: joins and departures both follow
+    ``rate(t) = trough + (peak - trough) * (1 + sin(2πt/period)) / 2``.
+
+    Drawn by Lewis-Shedler thinning against ``peak_rate``: candidate
+    events arrive at the peak rate and survive with probability
+    ``rate(t) / peak_rate``, which samples the exact non-homogeneous
+    process.  Joins and departures are thinned independently so the
+    membership level breathes rather than drifts.
+    """
+    if duration < 0:
+        raise ValueError(f"duration must be >= 0, got {duration}")
+    if trough_rate < 0 or peak_rate < trough_rate:
+        raise ValueError(
+            f"need 0 <= trough_rate <= peak_rate, got [{trough_rate}, {peak_rate}]"
+        )
+    if period <= 0:
+        raise ValueError(f"period must be positive, got {period}")
+    if not 0.0 <= crash_fraction <= 1.0:
+        raise ValueError(f"crash_fraction must be in [0, 1], got {crash_fraction}")
+    rng = rng if rng is not None else Random(0)
+    events: list[ChurnEvent] = []
+    if peak_rate > 0:
+        for is_join in (True, False):
+            when = _exponential(peak_rate, rng)
+            while when < duration:
+                swing = (1.0 + math.sin(2.0 * math.pi * when / period)) / 2.0
+                rate = trough_rate + (peak_rate - trough_rate) * swing
+                if rng.random() < rate / peak_rate:
+                    if is_join:
+                        kind = ChurnKind.JOIN
+                    else:
+                        crash = rng.random() < crash_fraction
+                        kind = ChurnKind.CRASH if crash else ChurnKind.LEAVE
+                    events.append(ChurnEvent(when, kind))
+                when += _exponential(peak_rate, rng)
     events.sort(key=lambda event: event.time)
     return ChurnTrace(tuple(events), duration)
 

@@ -135,6 +135,15 @@ def point_rng(seed: int, *parts: object) -> Random:
     return Random(":".join([str(seed), *map(str, parts)]))
 
 
+#: Shared ``--seed`` help text for every CLI in the repo, so the seed
+#: contract reads identically everywhere it is offered.
+SEED_HELP = (
+    "base seed (default 0); each cell derives an independent stream by "
+    "string-seeding Random with 'seed:part:...' (SHA-512 underneath), so "
+    "--jobs N output is byte-identical to the serial run"
+)
+
+
 # -- sweepable experiments ---------------------------------------------------
 
 

@@ -99,6 +99,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extL", "ext_scale",
             "scale sweep over decades of n: build/multicast/metrics time + RSS",
         ),
+        ExperimentInfo(
+            "extM", "ext_scenarios",
+            "scenario matrix: workload x fault x topology cells under oracles",
+        ),
     )
 }
 

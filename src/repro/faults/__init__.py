@@ -41,6 +41,7 @@ from repro.faults.plan import (
     message_loss_burst,
     partition_window,
     save_plan,
+    summarize_events,
     timeout_storm,
 )
 from repro.faults.shrink import shrink_plan
@@ -66,5 +67,6 @@ __all__ = [
     "run_plan",
     "save_plan",
     "shrink_plan",
+    "summarize_events",
     "timeout_storm",
 ]

@@ -28,6 +28,7 @@ import argparse
 import os
 import sys
 
+from repro.experiments.common import SEED_HELP
 from repro.faults.campaign import (
     _resolve_peer_class,
     generate_campaign,
@@ -138,7 +139,7 @@ def build_parser() -> argparse.ArgumentParser:
     gen = sub.add_parser("gen", help="generate one deterministic plan")
     gen.add_argument("--system", required=True, choices=system_names())
     gen.add_argument("--index", type=int, default=0)
-    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--seed", type=int, default=0, help=SEED_HELP)
     gen.add_argument("--out", default="")
     gen.set_defaults(func=_cmd_gen)
 
@@ -149,7 +150,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system names (default: all registered)",
     )
     camp.add_argument("--plans", type=int, default=25, help="plans per system")
-    camp.add_argument("--seed", type=int, default=0)
+    camp.add_argument("--seed", type=int, default=0, help=SEED_HELP)
     camp.add_argument("--jobs", type=int, default=1)
     camp.add_argument("--out-dir", default="", help="where minimized repros go")
     camp.add_argument("--peer-class", default="", help="module:Class override")

@@ -41,6 +41,7 @@ from repro.trace.tracer import TRACER
 if TYPE_CHECKING:
     from repro.protocol.base_peer import BasePeer
     from repro.protocol.cluster import Cluster
+    from repro.sim.latency import LatencyModel
 
 #: Stabilization rounds granted for post-fault ring repair before the
 #: convergence oracle gives up.  Generous on purpose: convergence
@@ -128,25 +129,44 @@ def _apply_event(cluster: "Cluster", event) -> None:
 def run_plan(
     plan: FaultPlan,
     peer_class: "type[BasePeer] | None" = None,
+    member_spec: "MemberSpec | None" = None,
+    latency: "LatencyModel | None" = None,
 ) -> PlanOutcome:
     """Execute one fault plan end to end and judge it with the oracles.
 
     ``peer_class`` substitutes the live peer implementation while the
     plan's system descriptor still defines the invariants to hold it to
     — that is how the mutation tests prove the oracles have teeth.
+
+    ``member_spec`` overrides the plan-seed-generated membership with an
+    explicitly materialized one (the scenario compiler's topology axis:
+    non-uniform capacity laws, Hilbert-geographic identifier placement);
+    it must describe exactly ``plan.size`` members.  ``latency``
+    likewise overrides the cluster's default constant-latency network.
+    Both hooks leave the plan itself untouched, so determinism still
+    derives from frozen values only.
     """
     from repro.protocol.cluster import Cluster
 
     descriptor = get_system(plan.system)
-    spec = MemberSpec.generate(
-        plan.size,
-        space_bits=plan.space_bits,
-        capacity_range=plan.capacity_range,
-        seed=plan.seed,
-    )
+    if member_spec is not None:
+        if len(member_spec) != plan.size:
+            raise ValueError(
+                f"member spec has {len(member_spec)} members but the plan "
+                f"needs {plan.size}"
+            )
+        spec = member_spec
+    else:
+        spec = MemberSpec.generate(
+            plan.size,
+            space_bits=plan.space_bits,
+            capacity_range=plan.capacity_range,
+            seed=plan.seed,
+        )
     cluster = Cluster(
         peer_class if peer_class is not None else descriptor,
         spec,
+        latency=latency,
         seed=plan.seed,
         uniform_fanout=plan.uniform_fanout,
     )

@@ -129,8 +129,14 @@ class FaultPlan:
         return replace(self, events=tuple(events))
 
     def describe(self) -> str:
-        """One summary line: system, size, schedule shape."""
-        kinds = ",".join(e.action for e in self.events) or "none"
+        """One summary line: system, size, schedule shape.
+
+        The schedule is rendered through :func:`summarize_events`, so
+        composite primitives read as what they are (``partition_window``,
+        ``flash_churn[5]``, ``timeout_storm``) instead of their raw
+        event expansion — scenario-cell failure reports quote this line.
+        """
+        kinds = ",".join(summarize_events(self.events)) or "none"
         return (
             f"{self.system} n={self.size} seed={self.seed} "
             f"events[{len(self.events)}]={kinds} multicasts={self.multicasts}"
@@ -186,6 +192,101 @@ def load_plan(path: str) -> FaultPlan:
     """Read a plan written by :func:`save_plan`."""
     with open(path, "r", encoding="utf-8") as handle:
         return FaultPlan.from_json_dict(json.load(handle))
+
+
+# -- schedule summarization ---------------------------------------------------
+
+
+def summarize_events(events: Sequence[FaultEvent]) -> list[str]:
+    """Name the primitives a flat event schedule expands from.
+
+    The composable helpers below lower to raw events (a partition
+    window is a ``partition`` plus a later ``heal``; a timeout storm is
+    six ``kind_loss`` edges; flash churn alternates crashes and joins),
+    and failure reports that print raw actions are unreadable.  This
+    re-coalesces the recognizable shapes — ``partition_window``,
+    ``loss_burst``, ``timeout_storm``, ``kind_loss(<kind>)``,
+    ``flash_churn[<n>]`` — and leaves anything unmatched (including the
+    dangling halves a shrunk plan keeps) as its raw action name.
+    """
+    ordered = sorted(events, key=lambda e: (e.time, e.action))
+    consumed = [False] * len(ordered)
+
+    def claim_later(predicate) -> bool:
+        """Consume the first later unconsumed event matching ``predicate``."""
+        for j in range(len(ordered)):
+            if not consumed[j] and predicate(ordered[j]):
+                consumed[j] = True
+                return True
+        return False
+
+    names: list[str] = []
+    for i, event in enumerate(ordered):
+        if consumed[i]:
+            continue
+        consumed[i] = True
+        if event.action in ("crash", "join"):
+            # flash churn: an unbroken alternating crash/join run of >= 3
+            run = 1
+            expect = "join" if event.action == "crash" else "crash"
+            j = i + 1
+            while j < len(ordered) and not consumed[j] and ordered[j].action == expect:
+                run += 1
+                expect = "join" if expect == "crash" else "crash"
+                j += 1
+            if run >= 3:
+                for k in range(i + 1, j):
+                    consumed[k] = True
+                names.append(f"flash_churn[{run}]")
+            else:
+                names.append(event.action)
+        elif event.action == "partition":
+            matched = claim_later(
+                lambda e, t=event.time: e.action == "heal" and e.time >= t
+            )
+            names.append("partition_window" if matched else "partition")
+        elif event.action == "loss" and event.rate > 0:
+            matched = claim_later(
+                lambda e, t=event.time: e.action == "loss"
+                and e.rate == 0
+                and e.time >= t
+            )
+            names.append("loss_burst" if matched else "loss")
+        elif event.action == "kind_loss" and event.rate > 0:
+            # timeout storm: same-instant onsets covering every
+            # maintenance RPC kind, each with a later zero-rate edge
+            onsets = [i]
+            for j in range(i + 1, len(ordered)):
+                if (
+                    not consumed[j]
+                    and ordered[j].action == "kind_loss"
+                    and ordered[j].rate > 0
+                    and ordered[j].time == event.time
+                ):
+                    onsets.append(j)
+            kinds = {ordered[j].kind for j in onsets}
+            if set(MAINTENANCE_KINDS) <= kinds:
+                for j in onsets:
+                    consumed[j] = True
+                for kind in MAINTENANCE_KINDS:
+                    claim_later(
+                        lambda e, k=kind, t=event.time: e.action == "kind_loss"
+                        and e.kind == k
+                        and e.rate == 0
+                        and e.time >= t
+                    )
+                names.append("timeout_storm")
+            else:
+                claim_later(
+                    lambda e, k=event.kind, t=event.time: e.action == "kind_loss"
+                    and e.kind == k
+                    and e.rate == 0
+                    and e.time >= t
+                )
+                names.append(f"kind_loss({event.kind})")
+        else:
+            names.append(event.action)
+    return names
 
 
 # -- composable primitives ----------------------------------------------------

@@ -1,4 +1,9 @@
-"""Workload generation for experiments and examples."""
+"""Workload generation for experiments and examples.
+
+:class:`GroupSpec` is JSON round-trippable (``to_json_dict`` /
+``from_json_dict``), so scenario specs (:mod:`repro.scenarios`) can
+embed group workloads the same way fault plans embed their schedules.
+"""
 
 from repro.workloads.groups import GroupSpec, generate_group
 

@@ -11,10 +11,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from random import Random
+from typing import Any
 
 from repro.capacity.distributions import (
     BandwidthDistribution,
     CapacityDistribution,
+    bandwidth_distribution_from_json,
+    capacity_distribution_from_json,
+    distribution_to_json,
 )
 from repro.capacity.model import CapacityModel
 from repro.idspace.ring import IdentifierSpace
@@ -48,6 +52,49 @@ class GroupSpec:
             )
         if bandwidth_mode and self.per_link_kbps is None:
             raise ValueError("bandwidth mode requires per_link_kbps (the paper's p)")
+
+    # -- JSON ------------------------------------------------------------
+    #
+    # Scenario specs (repro.scenarios) embed group workloads, so a spec
+    # must survive the same JSON round-trip FaultPlan does: dump, load,
+    # and the reloaded spec generates the byte-identical group.
+
+    def to_json_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "size": self.size,
+            "space_bits": self.space_bits,
+            "min_capacity": self.min_capacity,
+        }
+        if self.capacities is not None:
+            out["capacities"] = distribution_to_json(self.capacities)
+        else:
+            assert self.bandwidths is not None
+            out["bandwidths"] = distribution_to_json(self.bandwidths)
+            out["per_link_kbps"] = self.per_link_kbps
+        return out
+
+    @classmethod
+    def from_json_dict(cls, raw: dict[str, Any]) -> "GroupSpec":
+        return cls(
+            size=int(raw["size"]),
+            space_bits=int(raw.get("space_bits", 19)),
+            capacities=(
+                capacity_distribution_from_json(raw["capacities"])
+                if raw.get("capacities") is not None
+                else None
+            ),
+            bandwidths=(
+                bandwidth_distribution_from_json(raw["bandwidths"])
+                if raw.get("bandwidths") is not None
+                else None
+            ),
+            per_link_kbps=(
+                float(raw["per_link_kbps"])
+                if raw.get("per_link_kbps") is not None
+                else None
+            ),
+            min_capacity=int(raw.get("min_capacity", 1)),
+        )
 
 
 def generate_group(spec: GroupSpec, seed: int = 0) -> RingSnapshot:

@@ -217,3 +217,62 @@ def test_shrinker_refuses_passing_plans():
     plan = FaultPlan(system="cam-chord", size=8, seed=4, events=())
     with pytest.raises(ValueError, match="does not fail"):
         shrink_plan(plan)
+
+
+# -- schedule summarization ---------------------------------------------------
+
+
+class TestDescribeCompositePrimitives:
+    """describe() names the composite shapes, not their raw expansion."""
+
+    def test_partition_window_coalesced(self):
+        from repro.faults import partition_window
+
+        plan = FaultPlan(
+            system="cam-chord",
+            size=8,
+            seed=0,
+            events=tuple(partition_window(2.0, 5.0, 1, 4, limit=30.0)),
+        )
+        assert "partition_window" in plan.describe()
+        assert "heal" not in plan.describe()
+
+    def test_timeout_storm_coalesced(self):
+        plan = FaultPlan(
+            system="cam-chord",
+            size=8,
+            seed=0,
+            events=tuple(timeout_storm(3.0, 6.0, 0.4, limit=30.0)),
+        )
+        assert plan.describe().count("timeout_storm") == 1
+        assert "kind_loss" not in plan.describe()
+
+    def test_flash_churn_counted(self):
+        from repro.faults import flash_churn
+
+        plan = FaultPlan(
+            system="cam-chord",
+            size=8,
+            seed=0,
+            events=tuple(flash_churn(1.0, 5, 0.5, 6, limit=30.0)),
+        )
+        assert "flash_churn[5]" in plan.describe()
+
+    def test_loss_burst_and_kind_loss_named(self):
+        from repro.faults import message_loss_burst, summarize_events
+
+        names = summarize_events(loss_burst(2.0, 4.0, 0.2, limit=30.0))
+        assert names == ["loss_burst"]
+        names = summarize_events(
+            message_loss_burst(2.0, 4.0, "mc_region", 0.2, limit=30.0)
+        )
+        assert names == ["kind_loss(mc_region)"]
+
+    def test_dangling_halves_stay_raw(self):
+        from repro.faults import summarize_events
+
+        # a shrunk plan may keep a partition without its heal
+        names = summarize_events([FaultEvent(2.0, "partition", a=1, b=4)])
+        assert names == ["partition"]
+        names = summarize_events([FaultEvent(2.0, "loss", rate=0.2)])
+        assert names == ["loss"]

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
-from repro.capacity.distributions import UniformBandwidth, UniformCapacity
-from repro.workloads.groups import GroupSpec, generate_group
+from repro.capacity.distributions import (
+    FixedCapacity,
+    HeavyTailCapacity,
+    UniformBandwidth,
+    UniformCapacity,
+)
+from repro.workloads import GroupSpec, generate_group
 
 
 class TestGroupSpec:
@@ -27,6 +34,44 @@ class TestGroupSpec:
     def test_size_validated(self):
         with pytest.raises(ValueError):
             GroupSpec(size=0, capacities=UniformCapacity(4, 10))
+
+
+class TestGroupSpecJson:
+    """The FaultPlan-style JSON value contract on group workloads."""
+
+    SPECS = [
+        GroupSpec(size=40, space_bits=14, capacities=UniformCapacity(4, 10)),
+        GroupSpec(size=25, capacities=FixedCapacity(6), min_capacity=2),
+        GroupSpec(size=30, capacities=HeavyTailCapacity(2, 32, 1.6)),
+        GroupSpec(
+            size=50,
+            bandwidths=UniformBandwidth(400, 1000),
+            per_link_kbps=100.0,
+            min_capacity=4,
+        ),
+    ]
+
+    def test_round_trip_equality(self):
+        for spec in self.SPECS:
+            raw = json.loads(json.dumps(spec.to_json_dict()))
+            assert GroupSpec.from_json_dict(raw) == spec
+
+    def test_round_trip_generates_identical_group(self):
+        for spec in self.SPECS:
+            reloaded = GroupSpec.from_json_dict(
+                json.loads(json.dumps(spec.to_json_dict()))
+            )
+            first = generate_group(spec, seed=7)
+            second = generate_group(reloaded, seed=7)
+            assert [
+                (n.ident, n.capacity, n.bandwidth_kbps) for n in first
+            ] == [(n.ident, n.capacity, n.bandwidth_kbps) for n in second]
+
+    def test_unknown_distribution_rejected(self):
+        raw = GroupSpec(size=10, capacities=UniformCapacity(4, 10)).to_json_dict()
+        raw["capacities"]["kind"] = "CauchyCapacity"
+        with pytest.raises(ValueError, match="unknown capacity distribution"):
+            GroupSpec.from_json_dict(raw)
 
 
 class TestGenerateGroup:
