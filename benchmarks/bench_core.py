@@ -42,10 +42,13 @@ from repro.experiments.common import clear_caches, resolve_scale
 from repro.trace.tracer import TRACER
 
 #: the structural figures that exercise the core hot paths
-CORE_FIGURES = ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC", "extL")
+CORE_FIGURES = (
+    "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "extC", "extL", "extN",
+)
 
 #: the most kernel-sensitive figures, gated by the CI perf smoke
-QUICK_FIGURES = ("fig6", "fig8", "extL")
+#: (extN gates the event-driven service plane's sustained throughput)
+QUICK_FIGURES = ("fig6", "fig8", "extL", "extN")
 
 #: a figure only counts as regressed when it is BOTH over the ratio
 #: tolerance AND this much slower in absolute terms — sub-100ms
@@ -189,6 +192,40 @@ def measure_scenarios(seed: int = 0) -> dict:
     return scenarios
 
 
+def measure_service(scale, seed: int = 0) -> dict:
+    """Sustained service-plane throughput at the heaviest extN cell.
+
+    Runs the largest (group count, churn) point of the extN sweep once
+    and records the deliveries/sec the event-driven plane sustained —
+    the number a deployment provisions against — plus the wall time and
+    backpressure counters.  The quiesce oracles run inside
+    ``run_point``, so a recorded number is always an audited one.
+    """
+    from repro.experiments.ext_service import CHURN_RATES, GROUP_COUNTS, run_point
+
+    groups = max(GROUP_COUNTS[scale.name])
+    churn = max(CHURN_RATES[scale.name])
+    started = time.perf_counter()
+    row = run_point(scale, seed, (groups, churn))
+    wall = time.perf_counter() - started
+    entry = {
+        "groups": groups,
+        "churn": churn,
+        "peak_concurrent": row["peak_concurrent"],
+        "deliveries": row["deliveries"],
+        "deliveries_per_sec": round(row["deliveries_per_sec"], 4),
+        "deferrals": row["deferrals"],
+        "max_queue_depth": row["max_queue_depth"],
+        "wall_s": round(wall, 4),
+    }
+    print(
+        f"service groups={groups} churn={churn:g}: "
+        f"{row['deliveries_per_sec']:.1f} deliveries/s sustained, "
+        f"{row['deferrals']} deferrals, wall {wall:7.3f}s"
+    )
+    return entry
+
+
 def measure_scale_sweep(seed: int = 0) -> list[dict]:
     """Per-decade build/multicast/metrics time + exact peak RSS.
 
@@ -240,6 +277,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
     tracing = measure_tracing(scale, repeats, seed)
     systems = measure_systems(scale, seed)
     scenarios = measure_scenarios(seed)
+    service = measure_service(scale, seed)
     scale_sweep = measure_scale_sweep(seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -252,6 +290,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
         "tracing": tracing,
         "systems": systems,
         "scenarios": scenarios,
+        "service": service,
         "scale_sweep": scale_sweep,
         "perf": asdict(counters),
         "peak_rss_mb": perf.peak_rss_mb(),
@@ -303,6 +342,29 @@ def quick_check(
             f"{name:6s} cold median {median:7.3f}s  baseline {committed:7.3f}s  "
             f"ratio {ratio:5.2f}x  [{'ok' if ok else 'REGRESSION'}]"
         )
+    service: dict | None = None
+    if "service" in baseline:
+        # sustained-throughput gate: the heaviest extN cell's wall
+        # clock must stay within tolerance of the committed entry
+        measured = measure_service(scale, seed)
+        committed_wall = baseline["service"]["wall_s"]
+        ratio = measured["wall_s"] / committed_wall
+        ok = ratio <= tolerance or (
+            measured["wall_s"] - committed_wall
+        ) <= NOISE_FLOOR_S
+        passed = passed and ok
+        service = {
+            "wall_s": measured["wall_s"],
+            "baseline_wall_s": committed_wall,
+            "ratio": round(ratio, 3),
+            "deliveries_per_sec": measured["deliveries_per_sec"],
+            "ok": ok,
+        }
+        print(
+            f"service wall {measured['wall_s']:7.3f}s  baseline "
+            f"{committed_wall:7.3f}s  ratio {ratio:5.2f}x  "
+            f"[{'ok' if ok else 'REGRESSION'}]"
+        )
     result = {
         "scale": scale.name,
         "repeats": repeats,
@@ -311,6 +373,7 @@ def quick_check(
         "python": platform.python_version(),
         "machine": platform.machine(),
         "figures": figures,
+        "service": service,
         "passed": passed,
     }
     result_path.write_text(json.dumps(result, indent=2) + "\n")

@@ -1,20 +1,24 @@
 #!/usr/bin/env python3
-"""A conferencing platform: many rooms, one host population.
+"""A conferencing platform: many rooms, one host population, one clock.
 
 The paper's architecture gives every multicast group its own dedicated
 overlay (Section 2).  A host in three meetings sits on three rings —
-under three unrelated identifiers — and its uplink serves all of them.
-This example runs a platform with 300 hosts and four concurrent rooms
-of different sizes and media rates, sends a burst of audio/video
-events in each, and shows the per-host aggregate forwarding load the
-platform would provision for.
+under three unrelated identifiers — but it owns exactly one uplink,
+and that uplink serves all of them.  This example runs the
+event-driven service plane: 300 hosts, four concurrent rooms of
+different sizes and media rates, audio/video events interleaving on a
+single simulated clock, a latecomer joining and an early leaver
+departing *while* traffic is in flight.  At quiesce the plane audits
+every room (completeness against frozen send-time membership, zero
+sequence gaps, zero duplicates) and prints the per-room goodput and
+backpressure table the platform would provision from.
 
 Run:  python examples/conference_rooms.py
 """
 
 from random import Random
 
-from repro.multicast.service import MulticastService
+from repro.multicast.plane import ServicePlane
 from repro.multicast.session import SystemKind
 
 HOSTS = 300
@@ -30,37 +34,59 @@ ROOMS = (
 
 def main() -> None:
     rng = Random(23)
-    service = MulticastService(space_bits=18)
+    plane = ServicePlane(space_bits=18)
     for index in range(HOSTS):
-        service.register_host(f"host-{index}", rng.uniform(400, 1000))
+        plane.register_host(f"host-{index}", rng.uniform(400, 1000))
 
     host_names = [f"host-{i}" for i in range(HOSTS)]
+    memberships: dict[str, list[str]] = {}
     for name, size, kind, rate in ROOMS:
         members = rng.sample(host_names, size)
-        group = service.create_group(name, members, kind=kind, per_link_kbps=rate)
-        print(f"room {name:13s} {size:4d} members  {kind.value:10s} p={rate:g} kbps "
-              f"(overlay of {len(group)} nodes)")
+        memberships[name] = members
+        plane.create_group(name, members, kind=kind, per_link_kbps=rate)
+        print(f"room {name:13s} {size:4d} members  {kind.value:10s} "
+              f"p={rate:g} kbps")
 
-    # every room chatters: speakers rotate, each event is 4 kbits
+    # every room chatters on the shared clock: speakers rotate, each
+    # event is 4 kbits, and the rooms' sends interleave rather than
+    # running one room to completion at a time
     for name, size, _, _ in ROOMS:
-        members = list(service._members[name])
-        for _ in range(size // 2):
-            result = service.multicast(name, rng.choice(members), message_kbits=4.0)
-            assert result.receiver_count == size  # exactly-once per room
+        # the standup's first member will leave mid-run, so it never
+        # takes a speaking turn (membership freezes at fire time)
+        speakers = memberships[name][1:] if name == "team-standup" else (
+            memberships[name]
+        )
+        for turn in range(size // 2):
+            speaker = rng.choice(speakers)
+            plane.send_later(turn * 0.2, name, speaker, message_kbits=4.0)
 
-    load = service.host_load_kbits()
+    # mid-meeting membership: a latecomer joins the all-hands and an
+    # early leaver drops out of the standup while events are in flight
+    joiner = next(h for h in host_names if h not in memberships["all-hands"])
+    plane.simulator.call_later(2.0, lambda: plane.join("all-hands", joiner))
+    leaver = memberships["team-standup"][0]
+    plane.simulator.call_later(1.5, lambda: plane.leave("team-standup", leaver))
+
+    plane.drain()
+    plane.verify_quiesced()  # every oracle, every room
+    print(f"\n{joiner} joined all-hands at t=2.0; "
+          f"{leaver} left team-standup at t=1.5 — all audits clean.\n")
+    print(plane.report().render())
+
+    load = plane.service.host_load_kbits()
     carried = [v for v in load.values() if v > 0]
     print(f"\nhosts carrying traffic : {len(carried)} / {HOSTS}")
     print(f"mean load (active)     : {sum(carried)/len(carried):8.1f} kbits")
     print("busiest hosts          :")
-    for host, kbits in service.busiest_hosts(5):
-        rooms = ", ".join(service.groups_of(host))
+    for host, kbits in plane.service.busiest_hosts(5):
+        rooms = ", ".join(plane.service.groups_of(host))
         print(f"   {host:10s} {kbits:8.1f} kbits  (rooms: {rooms})")
 
     print(
-        "\nEach room's traffic stays inside its own overlay; a host's "
-        "total load is just the sum of its per-room shares, each bounded "
-        "by that room's capacity rule c = floor(B/p)."
+        "\nEach room's traffic stays inside its own overlay, but the "
+        "deferral column shows the shared-uplink coupling: a host "
+        "forwarding for two rooms serializes them on one link, and the "
+        "plane reports that backpressure per room."
     )
 
 

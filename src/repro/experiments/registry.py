@@ -103,6 +103,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extM", "ext_scenarios",
             "scenario matrix: workload x fault x topology cells under oracles",
         ),
+        ExperimentInfo(
+            "extN", "ext_service",
+            "service plane: sustained deliveries/sec vs group count x churn",
+        ),
     )
 }
 

@@ -29,10 +29,22 @@ from repro.multicast.chord_broadcast import chord_broadcast
 from repro.multicast.koorde_flood import koorde_flood
 from repro.multicast.session import MulticastGroup, SystemKind
 from repro.multicast.service import MulticastService
+from repro.multicast.plane import (
+    PlaneReport,
+    SendReceipt,
+    SequenceAudit,
+    SequenceLedger,
+    ServicePlane,
+)
 from repro.multicast.tree_building import SharedTree, build_shared_tree
 
 __all__ = [
     "MulticastService",
+    "ServicePlane",
+    "PlaneReport",
+    "SendReceipt",
+    "SequenceAudit",
+    "SequenceLedger",
     "SharedTree",
     "build_shared_tree",
     "MulticastResult",

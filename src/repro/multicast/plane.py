@@ -1,0 +1,711 @@
+"""Event-driven multi-group service plane.
+
+:class:`~repro.multicast.service.MulticastService` answers "who
+forwards to whom" one blocking call at a time.  Production traffic is
+different: thousands of groups disseminate *concurrently*, members
+join and leave mid-stream, and every host's single physical uplink is
+shared by all the groups it sits in.  :class:`ServicePlane` is that
+regime as a deterministic discrete-event system:
+
+* **Interleaved sends on one clock.**  Every send freezes the group's
+  membership and implicit tree at origin time, then plays the tree out
+  hop by hop on a :class:`~repro.sim.engine.Simulator`: a node forwards
+  the message to each child only after the full message has arrived
+  (store-and-forward at message granularity — packet pipelining inside
+  one tree is :mod:`repro.sim.transfer`'s business) and only when its
+  host's uplink frees up.
+* **Shared-uplink backpressure.**  All transmissions a host makes — in
+  any group — reserve slots from one
+  :class:`~repro.sim.transfer.UplinkBudget` ledger keyed by host name.
+  A saturated host defers its forwarding slots; the plane counts those
+  deferrals and the queue depth they imply, per group.
+* **Sequencing.**  Each group stamps sends with a monotonically
+  increasing sequence number; each member carries a delivery cursor
+  (:class:`SequenceLedger`) that detects duplicates on arrival and
+  names every gap at audit time.  A member joining mid-stream is
+  obligated from the next sequence; a leaver stays obligated for every
+  send originated while it was a member — exactly the frozen send-time
+  membership the trace layer's ``mc.origin`` events record.
+* **Mid-stream membership.**  ``create_group`` / ``join`` / ``leave``
+  are admitted *during* active dissemination: the group's snapshot and
+  overlay rebuild through the registry path
+  (:meth:`MulticastService.join_group`); in-flight sends keep their
+  frozen trees and finish against their origin-time membership.
+
+Everything is deterministic: ties on the event queue break by
+insertion order and the plane draws no randomness, so a replayed
+workload produces byte-identical reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
+
+from repro.multicast.service import MulticastService
+from repro.sim.engine import Future, Simulator
+from repro.sim.transfer import UplinkBudget
+from repro.systems import DEFAULT_UNIFORM_FANOUT
+from repro.trace.tracer import TRACER
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints
+    from repro.multicast.session import SystemKind
+    from repro.systems import SystemDescriptor
+    from repro.workloads.groups import ServiceEvent
+
+#: per-hop one-way latency in seconds: (parent_host, child_host) -> s
+HostLatency = Callable[[str, str], float]
+
+
+# -- sequencing -------------------------------------------------------------
+
+
+@dataclass
+class _Cursor:
+    """One member's delivery obligations and progress in one group."""
+
+    first: int  # first sequence the member must receive
+    last: int | None = None  # last obligated sequence (None = still member)
+    contiguous: int = 0  # highest n with first..n all delivered
+    ahead: set[int] = field(default_factory=set)  # delivered out of order
+    dups: int = 0
+
+    def __post_init__(self) -> None:
+        self.contiguous = self.first - 1
+
+
+@dataclass(frozen=True)
+class SequenceAudit:
+    """What the cursors say once the plane has quiesced.
+
+    ``gaps`` maps each member with missing sequences to the exact
+    sequence numbers it never received; ``dups`` / ``unexpected`` count
+    repeated and never-obligated deliveries.  A healthy plane audits to
+    ``clean``.
+    """
+
+    gaps: Mapping[str, tuple[int, ...]]
+    dups: int
+    unexpected: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.gaps and self.dups == 0 and self.unexpected == 0
+
+
+class SequenceLedger:
+    """Per-member delivery cursors for one group's sequence space.
+
+    The ledger is pure bookkeeping — no clock, no randomness — so the
+    gap/duplicate semantics are testable in isolation and the plane
+    simply feeds it ``record`` calls as deliveries land.  Sequences in
+    a group count up from 1; cursors compress the delivered set into a
+    contiguous prefix plus an out-of-order overflow, so overlapping
+    sends that complete out of order cost O(overlap) not O(history).
+
+    A member that leaves and later rejoins gets a fresh *stint*: each
+    stint is its own cursor with its own obligation range (stints never
+    overlap — a leave freezes obligations at the last issued sequence
+    and a rejoin starts at the next one), and the audit merges every
+    stint's gaps per member.
+    """
+
+    def __init__(self) -> None:
+        self._cursors: dict[str, list[_Cursor]] = {}
+        self._issued = 0  # highest sequence number originated so far
+        self._unexpected = 0
+
+    @property
+    def issued(self) -> int:
+        """The highest sequence number originated in the group."""
+        return self._issued
+
+    def issue(self) -> int:
+        """Stamp the next send: sequence numbers are 1, 2, 3, ..."""
+        self._issued += 1
+        return self._issued
+
+    def admit(self, member: str, first_seq: int | None = None) -> None:
+        """Start a member's (next) stint, obligated from ``first_seq``
+        on (default: the next sequence to be issued)."""
+        stints = self._cursors.setdefault(member, [])
+        if stints and stints[-1].last is None:
+            raise ValueError(f"member {member!r} already tracked")
+        first = first_seq if first_seq is not None else self._issued + 1
+        stints.append(_Cursor(first=first))
+
+    def retire(self, member: str, last_seq: int | None = None) -> None:
+        """Freeze a member's obligations at ``last_seq`` (default: the
+        last sequence issued).  The cursor stays for the final audit —
+        a leaver remains accountable for sends it was a member of."""
+        stints = self._cursors.get(member)
+        if not stints or stints[-1].last is not None:
+            raise ValueError(f"member {member!r} is not actively tracked")
+        stints[-1].last = last_seq if last_seq is not None else self._issued
+
+    def record(self, member: str, seq: int) -> str:
+        """Account one delivery; returns ``"ok"``, ``"dup"`` or
+        ``"unexpected"`` (delivery outside the member's obligations).
+        Stint ranges never overlap, so at most one cursor matches."""
+        cursor = None
+        for stint in reversed(self._cursors.get(member, ())):
+            if seq >= stint.first and (
+                stint.last is None or seq <= stint.last
+            ):
+                cursor = stint
+                break
+        if cursor is None:
+            self._unexpected += 1
+            return "unexpected"
+        if seq <= cursor.contiguous or seq in cursor.ahead:
+            cursor.dups += 1
+            return "dup"
+        cursor.ahead.add(seq)
+        while cursor.contiguous + 1 in cursor.ahead:
+            cursor.contiguous += 1
+            cursor.ahead.remove(cursor.contiguous)
+        return "ok"
+
+    def members(self) -> list[str]:
+        """Every tracked member, active and retired."""
+        return list(self._cursors)
+
+    def retire_all(self) -> None:
+        """Freeze every still-active cursor (group teardown)."""
+        for stints in self._cursors.values():
+            if stints and stints[-1].last is None:
+                stints[-1].last = self._issued
+
+    def audit(self) -> SequenceAudit:
+        """Gaps/dups across all cursors against their obligations."""
+        gaps: dict[str, tuple[int, ...]] = {}
+        dups = 0
+        for member, stints in sorted(self._cursors.items()):
+            missing: list[int] = []
+            for cursor in stints:
+                last = cursor.last if cursor.last is not None else self._issued
+                missing.extend(
+                    seq
+                    for seq in range(cursor.contiguous + 1, last + 1)
+                    if seq not in cursor.ahead
+                )
+                dups += cursor.dups
+            if missing:
+                gaps[member] = tuple(missing)
+        return SequenceAudit(gaps=gaps, dups=dups, unexpected=self._unexpected)
+
+
+# -- send bookkeeping -------------------------------------------------------
+
+
+class SendReceipt:
+    """One scheduled send: its frozen context and live progress.
+
+    ``members`` is the frozen send-time membership (host names) — the
+    set the completeness oracle judges.  ``delivered`` fills in as the
+    dissemination plays out; ``completion`` resolves with the receipt
+    once every frozen member has its copy.
+    """
+
+    __slots__ = (
+        "group",
+        "seq",
+        "mid",
+        "source",
+        "message_kbits",
+        "origin_time",
+        "members",
+        "delivered",
+        "completion",
+    )
+
+    def __init__(
+        self,
+        group: str,
+        seq: int,
+        mid: int,
+        source: str,
+        message_kbits: float,
+        origin_time: float,
+        members: tuple[str, ...],
+    ) -> None:
+        self.group = group
+        self.seq = seq
+        self.mid = mid
+        self.source = source
+        self.message_kbits = message_kbits
+        self.origin_time = origin_time
+        self.members = members
+        #: host name -> delivery time (the source maps to origin_time)
+        self.delivered: dict[str, float] = {source: origin_time}
+        self.completion = Future()
+
+    @property
+    def complete(self) -> bool:
+        return self.completion.done
+
+    def verify_complete(self) -> None:
+        """The completeness oracle: every frozen send-time member got
+        its copy (raises with the missing hosts otherwise)."""
+        missing = [host for host in self.members if host not in self.delivered]
+        if missing:
+            raise AssertionError(
+                f"send {self.group}#{self.seq}: {len(missing)} frozen "
+                f"members never delivered, e.g. {missing[:5]}"
+            )
+
+
+class _SendState:
+    """Internal per-send dissemination state (frozen at origin)."""
+
+    __slots__ = ("receipt", "children", "host_of", "depth", "remaining")
+
+    def __init__(
+        self,
+        receipt: SendReceipt,
+        children: dict[int, list[int]],
+        host_of: dict[int, str],
+        depth: dict[int, int],
+    ) -> None:
+        self.receipt = receipt
+        self.children = children
+        self.host_of = host_of
+        self.depth = depth
+        self.remaining = len(host_of) - 1  # everyone but the source
+
+
+@dataclass
+class GroupStats:
+    """Per-group counters the plane reports."""
+
+    created_at: float
+    sends: int = 0
+    deliveries: int = 0
+    delivered_kbits: float = 0.0
+    deferrals: int = 0
+    dups: int = 0
+    queue_depth: int = 0  # transmissions scheduled but not yet landed
+    max_queue_depth: int = 0
+    first_origin: float | None = None
+    last_delivery: float | None = None
+    closed: bool = False
+
+    def goodput_dps(self) -> float:
+        """Sustained deliveries per simulated second over the group's
+        active span (first origin to last delivery)."""
+        if self.deliveries == 0 or self.first_origin is None:
+            return 0.0
+        span = (self.last_delivery or self.first_origin) - self.first_origin
+        if span <= 0.0:
+            return float(self.deliveries)
+        return self.deliveries / span
+
+    def goodput_kbps(self) -> float:
+        """Sustained delivered kilobits per simulated second."""
+        if self.delivered_kbits == 0.0 or self.first_origin is None:
+            return 0.0
+        span = (self.last_delivery or self.first_origin) - self.first_origin
+        if span <= 0.0:
+            return self.delivered_kbits
+        return self.delivered_kbits / span
+
+
+@dataclass(frozen=True)
+class PlaneReport:
+    """The plane's rolled-up answer: one row per group, plus totals.
+
+    ``rows`` are JSON-safe dicts (the CI service-smoke job uploads the
+    rendered table as its goodput artifact).
+    """
+
+    time: float
+    rows: tuple[dict[str, Any], ...]
+    total_deliveries: int
+    total_deferrals: int
+
+    def deliveries_per_sec(self) -> float:
+        """Aggregate sustained deliveries/sec across every group."""
+        if self.time <= 0.0:
+            return float(self.total_deliveries)
+        return self.total_deliveries / self.time
+
+    def render(self) -> str:
+        header = (
+            f"{'group':16s} {'members':>7s} {'sends':>6s} {'delivs':>7s} "
+            f"{'goodput/s':>10s} {'kbps':>9s} {'defer':>6s} {'maxq':>5s}"
+        )
+        lines = [header]
+        for row in self.rows:
+            lines.append(
+                f"{row['group']:16s} {row['members']:7d} {row['sends']:6d} "
+                f"{row['deliveries']:7d} {row['goodput_dps']:10.2f} "
+                f"{row['goodput_kbps']:9.1f} {row['deferrals']:6d} "
+                f"{row['max_queue_depth']:5d}"
+            )
+        lines.append(
+            f"# t={self.time:.2f}s groups={len(self.rows)} "
+            f"deliveries={self.total_deliveries} "
+            f"({self.deliveries_per_sec():.1f}/s) "
+            f"deferrals={self.total_deferrals}"
+        )
+        return "\n".join(lines)
+
+
+# -- the plane --------------------------------------------------------------
+
+
+class ServicePlane:
+    """Batched, interleaved multi-group dissemination on one clock.
+
+    Wraps (or owns) a :class:`MulticastService` — every overlay build
+    and rebuild goes through the service's registry path, and every
+    completed transmission charges the service's per-host forwarding
+    ledger, so the synchronous API's accounting invariants hold
+    unchanged under the event-driven plane.
+    """
+
+    def __init__(
+        self,
+        service: MulticastService | None = None,
+        simulator: Simulator | None = None,
+        space_bits: int = 19,
+        hop_latency: float | HostLatency = 0.0,
+    ) -> None:
+        self.service = (
+            service if service is not None else MulticastService(space_bits)
+        )
+        self.simulator = simulator if simulator is not None else Simulator()
+        self.budget = UplinkBudget()
+        self._latency: HostLatency = (
+            hop_latency
+            if callable(hop_latency)
+            else (lambda a, b, _s=float(hop_latency): _s)
+        )
+        self._ledgers: dict[str, SequenceLedger] = {}
+        self._stats: dict[str, GroupStats] = {}
+        self._active: dict[str, bool] = {}
+        self._next_mid = 1
+        self._receipts: list[SendReceipt] = []
+
+    # -- membership lifecycle (admissible mid-stream) -------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.simulator.now
+
+    def register_host(self, name: str, bandwidth_kbps: float) -> None:
+        """Add a host to the shared population (delegates)."""
+        self.service.register_host(name, bandwidth_kbps)
+
+    def create_group(
+        self,
+        group_name: str,
+        member_names: Iterable[str],
+        kind: "SystemKind | SystemDescriptor | str | None" = None,
+        per_link_kbps: float = 100.0,
+        uniform_fanout: int = DEFAULT_UNIFORM_FANOUT,
+    ) -> None:
+        """Establish a group (usable immediately, even mid-run)."""
+        kwargs: dict[str, Any] = {
+            "per_link_kbps": per_link_kbps,
+            "uniform_fanout": uniform_fanout,
+        }
+        if kind is not None:
+            kwargs["kind"] = kind
+        self.service.create_group(group_name, member_names, **kwargs)
+        ledger = SequenceLedger()
+        for member in self.service.members_of(group_name):
+            ledger.admit(member)
+        self._ledgers[group_name] = ledger
+        self._stats[group_name] = GroupStats(created_at=self.now)
+        self._active[group_name] = True
+
+    def join(self, group_name: str, host_name: str) -> None:
+        """Admit a host mid-stream: the overlay rebuilds through the
+        registry path; in-flight sends keep their frozen trees.  The
+        joiner is obligated from the *next* sequence number."""
+        self.service.join_group(group_name, host_name)
+        self._ledgers[group_name].admit(host_name)
+
+    def leave(self, group_name: str, host_name: str) -> None:
+        """Remove a host mid-stream.  The leaver stays obligated for
+        every sequence originated while it was a member — including
+        in-flight sends, which deliver against frozen membership."""
+        self.service.leave_group(group_name, host_name)
+        self._ledgers[group_name].retire(host_name)
+
+    def drop_group(self, group_name: str) -> None:
+        """Tear a group down.  In-flight sends finish (frozen trees);
+        the ledger and stats stay readable for the final audit."""
+        self.service.drop_group(group_name)
+        self._ledgers[group_name].retire_all()
+        self._stats[group_name].closed = True
+        self._active[group_name] = False
+
+    # -- sending --------------------------------------------------------
+
+    def send(
+        self, group_name: str, source_host: str, message_kbits: float = 1.0
+    ) -> SendReceipt:
+        """Originate one message *now*: freeze membership and tree,
+        stamp the next sequence number, and schedule the hops."""
+        if not self._active.get(group_name, False):
+            raise KeyError(f"no group named {group_name!r}")
+        if message_kbits <= 0:
+            raise ValueError(
+                f"message size must be positive, got {message_kbits}"
+            )
+        group = self.service.group(group_name)
+        source_ident = self.service.member_ident(group_name, source_host)
+        result = group.multicast_from(group.snapshot.node_at(source_ident))
+        self.service.charge_tree(group_name, result, message_kbits)
+
+        # freeze: children adjacency in delivery order, ident -> host
+        members = {
+            name: self.service.member_ident(group_name, name)
+            for name in self.service.members_of(group_name)
+        }
+        host_of = {ident: name for name, ident in members.items()}
+        children: dict[int, list[int]] = {}
+        for child, parent in result.parent.items():
+            if parent is not None:
+                children.setdefault(parent, []).append(child)
+
+        ledger = self._ledgers[group_name]
+        seq = ledger.issue()
+        mid = self._next_mid
+        self._next_mid += 1
+        stats = self._stats[group_name]
+        stats.sends += 1
+        if stats.first_origin is None:
+            stats.first_origin = self.now
+        receipt = SendReceipt(
+            group=group_name,
+            seq=seq,
+            mid=mid,
+            source=source_host,
+            message_kbits=message_kbits,
+            origin_time=self.now,
+            members=tuple(members),
+        )
+        self._receipts.append(receipt)
+        state = _SendState(receipt, children, host_of, dict(result.depth))
+        if TRACER.enabled:
+            idents = sorted(host_of)
+            TRACER.emit(
+                self.now, "mc", "origin",
+                mid=mid, source=source_ident,
+                system=group.system.name,
+                bits=group.snapshot.space.bits,
+                members=idents,
+                capacities=[
+                    [ident, group.snapshot.node_at(ident).capacity]
+                    for ident in idents
+                ],
+                group=group_name, seq=seq,
+            )
+            # the origin's own copy, parent=None — same convention as
+            # the protocol peers' local delivery record
+            TRACER.emit(
+                self.now, "mc", "deliver",
+                mid=mid, ident=source_ident, depth=0, parent=None,
+                group=group_name, seq=seq,
+            )
+        ledger.record(source_host, seq)
+        if state.remaining == 0:
+            receipt.completion.resolve(receipt)
+        else:
+            self._forward(state, source_ident)
+        return receipt
+
+    def send_later(
+        self,
+        delay: float,
+        group_name: str,
+        source_host: str,
+        message_kbits: float = 1.0,
+    ) -> Future:
+        """Schedule a send for ``now + delay``; membership and tree
+        freeze at *fire* time, not call time.  Resolves with the
+        :class:`SendReceipt` once the send is originated."""
+        placed = Future()
+        self.simulator.call_later(
+            delay,
+            lambda: placed.resolve(
+                self.send(group_name, source_host, message_kbits)
+            ),
+        )
+        return placed
+
+    def _forward(self, state: _SendState, ident: int) -> None:
+        """Node ``ident`` holds the full message: queue one uplink slot
+        per child on its host's shared budget."""
+        kids = state.children.get(ident)
+        if not kids:
+            return
+        host = state.host_of[ident]
+        bandwidth = self.service.hosts[host]
+        serialize = state.receipt.message_kbits / bandwidth
+        stats = self._stats[state.receipt.group]
+        now = self.now
+        for child in kids:
+            start, done = self.budget.reserve(host, now, serialize)
+            if start > now:
+                stats.deferrals += 1
+            stats.queue_depth += 1
+            stats.max_queue_depth = max(
+                stats.max_queue_depth, stats.queue_depth
+            )
+            arrival = done + self._latency(host, state.host_of[child])
+            self.simulator.call_at(
+                arrival, lambda c=child, i=ident: self._deliver(state, c, i)
+            )
+
+    def _deliver(self, state: _SendState, ident: int, parent: int) -> None:
+        """The message fully arrived at ``ident``: account and fan on."""
+        receipt = state.receipt
+        host = state.host_of[ident]
+        stats = self._stats[receipt.group]
+        stats.queue_depth -= 1
+        verdict = self._ledgers[receipt.group].record(host, receipt.seq)
+        now = self.now
+        if verdict == "dup":
+            stats.dups += 1
+            if TRACER.enabled:
+                TRACER.emit(
+                    now, "mc", "dup",
+                    mid=receipt.mid, ident=ident, sender=parent,
+                    group=receipt.group, seq=receipt.seq,
+                )
+            return
+        stats.deliveries += 1
+        stats.delivered_kbits += receipt.message_kbits
+        stats.last_delivery = now
+        receipt.delivered[host] = now
+        if TRACER.enabled:
+            TRACER.emit(
+                now, "mc", "deliver",
+                mid=receipt.mid, ident=ident,
+                depth=state.depth.get(ident, 0), parent=parent,
+                group=receipt.group, seq=receipt.seq,
+            )
+        state.remaining -= 1
+        if state.remaining == 0:
+            receipt.completion.resolve(receipt)
+        self._forward(state, ident)
+
+    # -- workload replay ------------------------------------------------
+
+    def replay(self, events: "Sequence[ServiceEvent]") -> None:
+        """Schedule a generated workload onto the clock (then
+        :meth:`drain` to run it).  Events carry concrete group and host
+        names (see :func:`repro.workloads.groups.generate_service_workload`);
+        scheduling order equals event order, so replay is deterministic."""
+        for event in events:
+            self.simulator.call_at(event.time, self._apply_event(event))
+
+    def _apply_event(self, event: "ServiceEvent") -> Callable[[], None]:
+        def apply() -> None:
+            if event.action == "create":
+                self.create_group(
+                    event.group,
+                    event.hosts,
+                    kind=event.kind,
+                    per_link_kbps=event.per_link_kbps,
+                )
+            elif event.action == "drop":
+                self.drop_group(event.group)
+            elif event.action == "join":
+                self.join(event.group, event.hosts[0])
+            elif event.action == "leave":
+                self.leave(event.group, event.hosts[0])
+            elif event.action == "send":
+                self.send(
+                    event.group, event.hosts[0], event.message_kbits
+                )
+            else:  # pragma: no cover - generator emits only these
+                raise ValueError(f"unknown workload action {event.action!r}")
+
+        return apply
+
+    # -- running and reporting ------------------------------------------
+
+    def run(self, until: float) -> None:
+        """Advance the clock to ``until``."""
+        self.simulator.run(until)
+
+    def drain(self, max_events: int | None = None) -> None:
+        """Run until every scheduled hop has landed."""
+        self.simulator.run_until_idle(max_events)
+
+    def receipts(self) -> tuple[SendReceipt, ...]:
+        """Every send originated so far, in origination order."""
+        return tuple(self._receipts)
+
+    def audit(self) -> SequenceAudit:
+        """Merge every group's cursor audit (run :meth:`drain` first —
+        in-flight sends legitimately show as gaps)."""
+        gaps: dict[str, tuple[int, ...]] = {}
+        dups = 0
+        unexpected = 0
+        for group_name in sorted(self._ledgers):
+            audit = self._ledgers[group_name].audit()
+            for member, missing in audit.gaps.items():
+                gaps[f"{group_name}/{member}"] = missing
+            dups += audit.dups
+            unexpected += audit.unexpected
+        return SequenceAudit(gaps=gaps, dups=dups, unexpected=unexpected)
+
+    def verify_quiesced(self) -> None:
+        """The plane's oracles after :meth:`drain`: every send complete
+        against its frozen membership, zero sequence gaps, zero dups."""
+        for receipt in self._receipts:
+            receipt.verify_complete()
+            if not receipt.complete:
+                raise AssertionError(
+                    f"send {receipt.group}#{receipt.seq} never completed"
+                )
+        audit = self.audit()
+        if not audit.clean:
+            sample = dict(list(audit.gaps.items())[:3])
+            raise AssertionError(
+                f"sequence audit not clean: {len(audit.gaps)} gapped "
+                f"cursors (e.g. {sample}), {audit.dups} dups, "
+                f"{audit.unexpected} unexpected"
+            )
+
+    def report(self) -> PlaneReport:
+        """Per-group goodput, queue depth and deferral counts."""
+        rows = []
+        total_deliveries = 0
+        total_deferrals = 0
+        for group_name in sorted(self._stats):
+            stats = self._stats[group_name]
+            members = (
+                len(self.service.members_of(group_name))
+                if self._active.get(group_name, False)
+                else 0
+            )
+            rows.append(
+                {
+                    "group": group_name,
+                    "members": members,
+                    "closed": stats.closed,
+                    "sends": stats.sends,
+                    "deliveries": stats.deliveries,
+                    "goodput_dps": round(stats.goodput_dps(), 4),
+                    "goodput_kbps": round(stats.goodput_kbps(), 4),
+                    "deferrals": stats.deferrals,
+                    "dups": stats.dups,
+                    "max_queue_depth": stats.max_queue_depth,
+                }
+            )
+            total_deliveries += stats.deliveries
+            total_deferrals += stats.deferrals
+        return PlaneReport(
+            time=self.now,
+            rows=tuple(rows),
+            total_deliveries=total_deliveries,
+            total_deferrals=total_deferrals,
+        )

@@ -9,13 +9,24 @@ SHA-1 identifiers) and its upload bandwidth serves all of them.
 :class:`MulticastService` manages that: hosts register once with their
 upload bandwidth; groups are created and torn down with their own
 system kind and per-link rate; membership is by host name, mapped onto
-each group's ring with the Section 2 SHA-1 assignment.  The service
-aggregates forwarding load per *host* across groups — the quantity a
-deployment actually provisions for.
+each group's ring with the Section 2 SHA-1 assignment.  Membership is
+*mutable*: :meth:`join_group` / :meth:`leave_group` rebuild the
+group's snapshot and overlay through the same registry path
+:meth:`create_group` uses — identifiers are salted per ``group/host``,
+so unchanged members keep their ring positions across rebuilds.  The
+service aggregates forwarding load per *host* across groups — the
+quantity a deployment actually provisions for.
+
+This layer is synchronous: :meth:`multicast` delivers in one call.
+The event-driven face of the same service — interleaved sends on a
+simulated clock, sequence numbers, shared-uplink backpressure — is
+:class:`repro.multicast.plane.ServicePlane`, which drives exactly the
+group-rebuild path defined here.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from repro.capacity.model import CapacityModel
@@ -27,6 +38,15 @@ from repro.overlay.base import Node, RingSnapshot
 from repro.systems import DEFAULT_UNIFORM_FANOUT, SystemDescriptor, resolve
 
 
+@dataclass(frozen=True)
+class GroupConfig:
+    """The knobs a group was created with (reused by every rebuild)."""
+
+    system: SystemDescriptor
+    per_link_kbps: float
+    uniform_fanout: int
+
+
 class MulticastService:
     """Per-group overlays over a shared host population."""
 
@@ -35,6 +55,7 @@ class MulticastService:
         self._hosts: dict[str, float] = {}
         self._groups: dict[str, MulticastGroup] = {}
         self._members: dict[str, dict[str, int]] = {}
+        self._configs: dict[str, GroupConfig] = {}
         self._forwarded_kbits: dict[str, float] = {}
 
     # -- host management -----------------------------------------------------
@@ -55,6 +76,41 @@ class MulticastService:
 
     # -- group management ------------------------------------------------------
 
+    def _build_group(self, group_name: str, names: list[str]) -> MulticastGroup:
+        """One snapshot + overlay for ``names``, through the registry.
+
+        Members are mapped onto the group's ring with salted SHA-1 of
+        ``"group/host"`` — deterministic per pair, so a rebuild after a
+        join or leave keeps every unchanged member at its identifier.
+        """
+        config = self._configs[group_name]
+        mapping = assign_identifiers(
+            [f"{group_name}/{name}" for name in names], self._space
+        )
+        model = CapacityModel(
+            config.per_link_kbps, minimum=config.system.min_capacity
+        )
+        nodes = []
+        by_name: dict[str, int] = {}
+        for name in names:
+            ident = mapping[f"{group_name}/{name}"]
+            by_name[name] = ident
+            nodes.append(
+                Node(
+                    ident=ident,
+                    capacity=model.capacity(self._hosts[name]),
+                    bandwidth_kbps=self._hosts[name],
+                    name=name,
+                )
+            )
+        snapshot = RingSnapshot(self._space, nodes)
+        group = MulticastGroup.from_snapshot(
+            config.system, snapshot, config.uniform_fanout
+        )
+        self._groups[group_name] = group
+        self._members[group_name] = by_name
+        return group
+
     def create_group(
         self,
         group_name: str,
@@ -74,40 +130,73 @@ class MulticastService:
         """
         if group_name in self._groups:
             raise ValueError(f"group {group_name!r} already exists")
-        system = resolve(kind)
         names = list(member_names)
         unknown = [n for n in names if n not in self._hosts]
         if unknown:
             raise KeyError(f"unregistered hosts: {unknown[:5]}")
         if not names:
             raise ValueError("a group needs at least one member")
-        mapping = assign_identifiers(
-            [f"{group_name}/{name}" for name in names], self._space
+        self._configs[group_name] = GroupConfig(
+            system=resolve(kind),
+            per_link_kbps=per_link_kbps,
+            uniform_fanout=uniform_fanout,
         )
-        model = CapacityModel(per_link_kbps, minimum=system.min_capacity)
-        nodes = []
-        by_name: dict[str, int] = {}
-        for name in names:
-            ident = mapping[f"{group_name}/{name}"]
-            by_name[name] = ident
-            nodes.append(
-                Node(
-                    ident=ident,
-                    capacity=model.capacity(self._hosts[name]),
-                    bandwidth_kbps=self._hosts[name],
-                    name=name,
-                )
+        try:
+            return self._build_group(group_name, names)
+        except BaseException:
+            self._configs.pop(group_name, None)
+            raise
+
+    def join_group(self, group_name: str, host_name: str) -> MulticastGroup:
+        """Admit a registered host into an existing group.
+
+        The group's snapshot and overlay are rebuilt through the same
+        registry path :meth:`create_group` uses; every prior member
+        keeps its identifier (placement is salted per ``group/host``).
+        Returns the rebuilt group.
+        """
+        members = self._membership(group_name)
+        if host_name not in self._hosts:
+            raise KeyError(f"unregistered hosts: ['{host_name}']")
+        if host_name in members:
+            raise ValueError(
+                f"host {host_name!r} is already a member of {group_name!r}"
             )
-        snapshot = RingSnapshot(self._space, nodes)
-        group = MulticastGroup.from_snapshot(system, snapshot, uniform_fanout)
-        self._groups[group_name] = group
-        self._members[group_name] = by_name
-        return group
+        return self._build_group(group_name, [*members, host_name])
+
+    def leave_group(self, group_name: str, host_name: str) -> MulticastGroup:
+        """Remove a member and rebuild the group's overlay.
+
+        A group keeps at least one member; dropping the last one is
+        :meth:`drop_group`'s job.  Returns the rebuilt group.
+        """
+        members = self._membership(group_name)
+        if host_name not in members:
+            raise KeyError(
+                f"host {host_name!r} is not a member of {group_name!r}"
+            )
+        remaining = [name for name in members if name != host_name]
+        if not remaining:
+            raise ValueError(
+                f"cannot remove the last member of {group_name!r}; "
+                "use drop_group to tear the group down"
+            )
+        return self._build_group(group_name, remaining)
 
     def drop_group(self, group_name: str) -> None:
-        """Tear down a group's overlay."""
-        self._groups.pop(group_name, None)
-        self._members.pop(group_name, None)
+        """Tear down a group's overlay.
+
+        Raises :class:`KeyError` for unknown names, exactly like
+        :meth:`group` — a silent no-op here used to hide caller typos.
+        The group's past forwarding traffic **stays** in
+        :meth:`host_load_kbits`: the ledger is a historical account of
+        what each uplink actually carried, not a view of live groups.
+        """
+        if group_name not in self._groups:
+            raise KeyError(f"no group named {group_name!r}")
+        del self._groups[group_name]
+        del self._members[group_name]
+        del self._configs[group_name]
 
     def group(self, group_name: str) -> MulticastGroup:
         """Fetch a group's overlay."""
@@ -115,6 +204,26 @@ class MulticastService:
             return self._groups[group_name]
         except KeyError:
             raise KeyError(f"no group named {group_name!r}") from None
+
+    def _membership(self, group_name: str) -> dict[str, int]:
+        try:
+            return self._members[group_name]
+        except KeyError:
+            raise KeyError(f"no group named {group_name!r}") from None
+
+    def members_of(self, group_name: str) -> list[str]:
+        """The group's member host names, in join order."""
+        return list(self._membership(group_name))
+
+    def member_ident(self, group_name: str, host_name: str) -> int:
+        """The ring identifier a host holds inside one group."""
+        members = self._membership(group_name)
+        try:
+            return members[host_name]
+        except KeyError:
+            raise KeyError(
+                f"host {host_name!r} is not a member of {group_name!r}"
+            ) from None
 
     def groups_of(self, host_name: str) -> list[str]:
         """Every group the host belongs to."""
@@ -131,22 +240,37 @@ class MulticastService:
     ) -> MulticastResult:
         """Deliver one message in one group, charging host uplinks."""
         group = self.group(group_name)
-        members = self._members[group_name]
-        try:
-            source_ident = members[source_host]
-        except KeyError:
-            raise KeyError(
-                f"host {source_host!r} is not a member of {group_name!r}"
-            ) from None
+        source_ident = self.member_ident(group_name, source_host)
         result = group.multicast_from(group.snapshot.node_at(source_ident))
+        self.charge_tree(group_name, result, message_kbits)
+        return result
+
+    def charge_tree(
+        self, group_name: str, result: MulticastResult, message_kbits: float
+    ) -> None:
+        """Charge one dissemination tree's forwarding to host uplinks.
+
+        Each internal node pays ``children × message_kbits`` — the
+        Section 5.1 forwarding-load accounting, attributed to the host
+        behind the ring identifier.  Exposed so the event-driven plane
+        (which times deliveries instead of completing them in one call)
+        charges the same ledger.
+        """
+        members = self._membership(group_name)
         ident_to_name = {ident: name for name, ident in members.items()}
         for ident, count in result.children_counts().items():
             if count:
-                self._forwarded_kbits[ident_to_name[ident]] += count * message_kbits
-        return result
+                self._forwarded_kbits[ident_to_name[ident]] += (
+                    count * message_kbits
+                )
 
     def host_load_kbits(self) -> Mapping[str, float]:
-        """Total forwarded traffic per host, across every group."""
+        """Total forwarded traffic per host, across every group.
+
+        The ledger is cumulative for the service's lifetime: traffic a
+        host forwarded for a group that was later dropped stays counted
+        (it really did cross the uplink).
+        """
         return dict(self._forwarded_kbits)
 
     def busiest_hosts(self, count: int = 5) -> list[tuple[str, float]]:

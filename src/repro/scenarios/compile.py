@@ -151,6 +151,9 @@ class CompiledCell:
     coordinates: tuple[tuple[float, float], ...] | None = None
     message_kbits: float = 1.0
     static_sources: int = 3
+    #: concurrent service-plane groups (1 = classic single-group cell;
+    #: >1 adds the event-driven plane phase to run_cell)
+    groups: int = 1
 
     def build_latency(self) -> LatencyModel:
         """The live latency model, coordinates pinned when geographic."""
@@ -207,6 +210,8 @@ class CompiledCell:
         }
         if self.coordinates is not None:
             out["coordinates"] = [list(pair) for pair in self.coordinates]
+        if self.groups != 1:  # omitted when 1: existing artifacts keep bytes
+            out["groups"] = self.groups
         return out
 
     @classmethod
@@ -231,6 +236,7 @@ class CompiledCell:
             ),
             message_kbits=float(raw.get("message_kbits", 1.0)),
             static_sources=int(raw.get("static_sources", 3)),
+            groups=int(raw.get("groups", 1)),
         )
 
 
@@ -282,6 +288,7 @@ def compile_cell(spec: ScenarioSpec, system: str, seed: int = 0) -> CompiledCell
         coordinates=coordinates,
         message_kbits=spec.workload.message_kbits,
         static_sources=spec.workload.static_sources,
+        groups=spec.workload.groups,
     )
 
 
@@ -295,6 +302,8 @@ class CellOutcome:
     load_max_over_mean: float = 0.0
     load_cv: float = 0.0
     load_idle_fraction: float = 0.0
+    #: event-driven plane phase metrics (only when cell.groups > 1)
+    plane: dict[str, Any] | None = None
 
     @property
     def passed(self) -> bool:
@@ -307,7 +316,7 @@ class CellOutcome:
     def row(self) -> dict[str, Any]:
         """One result-table row as JSON-safe data."""
         delivery = self.mean_delivery()
-        return {
+        row = {
             "scenario": self.cell.scenario,
             "system": self.cell.system,
             "passed": self.passed,
@@ -320,10 +329,74 @@ class CellOutcome:
             "load_cv": self.load_cv,
             "load_idle_fraction": self.load_idle_fraction,
         }
+        if self.plane is not None:  # single-group rows keep their bytes
+            row["plane"] = self.plane
+        return row
+
+
+def _run_plane_phase(cell: CompiledCell) -> dict[str, Any]:
+    """The multi-group service-plane phase of a ``groups > 1`` cell.
+
+    The cell's membership becomes a shared host population; ``groups``
+    overlapping groups are sampled from it, every group originates the
+    workload's ``multicasts`` sends interleaved on one clock, and each
+    group sees one mid-stream join and one mid-stream leave while sends
+    are in flight.  The quiesce oracles (completeness against frozen
+    send-time membership, zero sequence gaps, zero duplicates) must
+    hold — a violation raises, failing the cell loudly rather than
+    degrading a metric.
+    """
+    from repro.multicast.plane import ServicePlane
+
+    plane = ServicePlane(space_bits=cell.members.space_bits)
+    names = [f"m{index:04d}" for index in range(len(cell.members))]
+    for name, kbps in zip(names, cell.members.bandwidths):
+        plane.register_host(name, max(float(kbps), 1.0))
+    rng = _scenario_rng(cell.seed, cell.scenario, cell.system, "plane")
+    group_size = max(4, min(len(names) - 1, 8))
+    window = max(cell.plan.propagation_window, 1.0)
+    sends = max(cell.plan.multicasts, 1)
+    for index in range(cell.groups):
+        group = f"g{index:03d}"
+        members = rng.sample(names, group_size)
+        plane.create_group(group, members, kind=cell.system)
+        # the leaver never sources a send: a send_later firing after
+        # the leave would otherwise originate at a non-member
+        leaver = members[rng.randrange(len(members))]
+        sources = [name for name in members if name != leaver]
+        for turn in range(sends):
+            offset = rng.uniform(0.0, window)
+            source = sources[rng.randrange(len(sources))]
+            plane.send_later(offset, group, source, cell.message_kbits)
+        # one join and one leave mid-window, while sends are in flight
+        free = sorted(set(names) - set(members))
+        if free:
+            joiner = rng.choice(free)
+            plane.simulator.call_at(
+                rng.uniform(0.0, window),
+                lambda g=group, h=joiner: plane.join(g, h),
+            )
+        plane.simulator.call_at(
+            rng.uniform(0.0, window),
+            lambda g=group, h=leaver: plane.leave(g, h),
+        )
+    plane.drain()
+    plane.verify_quiesced()
+    report = plane.report()
+    return {
+        "groups": cell.groups,
+        "deliveries": report.total_deliveries,
+        "deliveries_per_sec": round(report.deliveries_per_sec(), 4),
+        "deferrals": report.total_deferrals,
+        "max_queue_depth": max(
+            (row["max_queue_depth"] for row in report.rows), default=0
+        ),
+    }
 
 
 def run_cell(cell: CompiledCell) -> CellOutcome:
-    """Execute one cell: live fault phase, then static measurement."""
+    """Execute one cell: live fault phase, then static measurement,
+    then (for ``groups > 1`` cells) the event-driven plane phase."""
     from repro.multicast.session import MulticastGroup
 
     outcome = run_plan(
@@ -348,6 +421,7 @@ def run_cell(cell: CompiledCell) -> CellOutcome:
     except ValueError:
         throughput = None  # membership carries no usable bandwidths
     load = flooding_load(results, message_kbits=cell.message_kbits)
+    plane = _run_plane_phase(cell) if cell.groups > 1 else None
     return CellOutcome(
         cell=cell,
         outcome=outcome,
@@ -355,4 +429,5 @@ def run_cell(cell: CompiledCell) -> CellOutcome:
         load_max_over_mean=load.max_over_mean,
         load_cv=load.coefficient_of_variation,
         load_idle_fraction=load.idle_fraction,
+        plane=plane,
     )

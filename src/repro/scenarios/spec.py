@@ -214,6 +214,9 @@ class WorkloadAxis:
     churn: ChurnModel = field(default_factory=ChurnModel)
     message_kbits: float = 1.0
     static_sources: int = 3  # distinct sources probed in the static phase
+    #: concurrent service-plane groups; 1 keeps the classic single-group
+    #: scenario (no plane phase runs, outputs stay byte-identical)
+    groups: int = 1
 
     def __post_init__(self) -> None:
         if self.multicasts < 0:
@@ -222,15 +225,20 @@ class WorkloadAxis:
             raise ValueError(
                 f"static_sources must be >= 1, got {self.static_sources}"
             )
+        if self.groups < 1:
+            raise ValueError(f"groups must be >= 1, got {self.groups}")
 
     def to_json_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "multicasts": self.multicasts,
             "propagation_window": self.propagation_window,
             "churn": self.churn.to_json_dict(),
             "message_kbits": self.message_kbits,
             "static_sources": self.static_sources,
         }
+        if self.groups != 1:
+            out["groups"] = self.groups
+        return out
 
     @classmethod
     def from_json_dict(cls, raw: dict[str, Any]) -> "WorkloadAxis":
@@ -240,6 +248,7 @@ class WorkloadAxis:
             churn=ChurnModel.from_json_dict(raw.get("churn", {"kind": "none"})),
             message_kbits=float(raw.get("message_kbits", 1.0)),
             static_sources=int(raw.get("static_sources", 3)),
+            groups=int(raw.get("groups", 1)),
         )
 
 

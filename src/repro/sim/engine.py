@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator
+from typing import Any, Callable, Generator, Sequence
 
 from repro.trace.tracer import TRACER
 
@@ -93,6 +93,37 @@ class Future:
             callback(self)
         else:
             self._callbacks.append(callback)
+
+
+def gather(futures: "Sequence[Future]") -> Future:
+    """A future that resolves with every input's value, in input order.
+
+    Resolves to a list once all inputs resolve; fails as soon as any
+    input fails (first failure wins, later settlements are ignored).
+    An empty sequence resolves immediately — so a caller can always
+    ``yield gather(batch)`` without special-casing idle batches.
+    """
+    combined = Future()
+    inputs = list(futures)
+    remaining = len(inputs)
+    if remaining == 0:
+        combined.resolve([])
+        return combined
+
+    def on_settle(settled: Future) -> None:
+        nonlocal remaining
+        if combined.done:
+            return
+        if settled.failed:
+            combined.fail(str(settled._value))
+            return
+        remaining -= 1
+        if remaining == 0:
+            combined.resolve([future._value for future in inputs])
+
+    for future in inputs:
+        future.add_callback(on_settle)
+    return combined
 
 
 @dataclass(order=True)

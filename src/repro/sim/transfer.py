@@ -17,15 +17,80 @@ propagation term dominates.  Experiment extH sweeps both regimes.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import Counter, deque
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Hashable, Mapping
 
 from repro.multicast.delivery import MulticastResult
 from repro.overlay.base import RingSnapshot
 
 #: per-hop one-way latency in seconds: (parent_ident, child_ident) -> s
 HopLatency = Callable[[int, int], float]
+
+
+class UplinkBudget:
+    """One serialization ledger per host uplink, shared across groups.
+
+    A host that belongs to three multicast groups sits on three
+    overlays, but it owns exactly *one* physical uplink — the Section 2
+    deployment model.  The budget tracks, per host key, the instant its
+    uplink next frees up; every transmission any group wants the host
+    to make must :meth:`reserve` a slot, and a reservation that cannot
+    start immediately is a **deferral** (the backpressure signal the
+    service plane reports per group).
+
+    Keys are arbitrary hashables (the service plane uses host names,
+    the transfer simulation uses ring identifiers).  All methods are
+    deterministic: the ledger never draws randomness, so event-driven
+    callers replay identically.
+    """
+
+    __slots__ = ("_free_at", "_deferrals", "_reservations")
+
+    def __init__(self) -> None:
+        self._free_at: dict[Hashable, float] = {}
+        self._deferrals: Counter[Hashable] = Counter()
+        self._reservations: Counter[Hashable] = Counter()
+
+    def free_at(self, host: Hashable) -> float:
+        """When the host's uplink next goes idle (0.0 if never used)."""
+        return self._free_at.get(host, 0.0)
+
+    def backlog(self, host: Hashable, now: float) -> float:
+        """Seconds of queued serialization ahead of a reservation at
+        ``now`` — the queue-depth measure in time units."""
+        return max(0.0, self.free_at(host) - now)
+
+    def reserve(
+        self, host: Hashable, now: float, duration: float
+    ) -> tuple[float, float]:
+        """Claim ``duration`` seconds of uplink at the earliest instant
+        ``>= now``; returns ``(start, done)``.
+
+        ``start > now`` means the slot was deferred behind traffic the
+        host is already serializing (for this group or any other).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        start = max(now, self._free_at.get(host, 0.0))
+        if start > now:
+            self._deferrals[host] += 1
+        done = start + duration
+        self._free_at[host] = done
+        self._reservations[host] += 1
+        return start, done
+
+    def deferrals(self, host: Hashable | None = None) -> int:
+        """Deferred reservations for one host (or the whole ledger)."""
+        if host is not None:
+            return self._deferrals[host]
+        return sum(self._deferrals.values())
+
+    def reservations(self, host: Hashable | None = None) -> int:
+        """Total reservations for one host (or the whole ledger)."""
+        if host is not None:
+            return self._reservations[host]
+        return sum(self._reservations.values())
 
 
 @dataclass(frozen=True)
@@ -73,6 +138,9 @@ def simulate_tree_transfer(
     message_kbits: float,
     packet_count: int = 32,
     hop_latency: HopLatency | None = None,
+    budget: UplinkBudget | None = None,
+    start_time: float = 0.0,
+    host_key: Callable[[int], Hashable] | None = None,
 ) -> TransferResult:
     """Pipeline ``message_kbits`` through ``tree`` and time every member.
 
@@ -83,12 +151,26 @@ def simulate_tree_transfer(
     serializing.  Packets traverse the tree breadth-first (parents
     strictly before children), so one pass computes all times exactly
     — the computation is deterministic, no event queue needed.
+
+    With a ``budget``, the private per-child share is replaced by the
+    shared-uplink model: every packet transmission reserves the *whole*
+    uplink for ``packet_kbits / B`` seconds from the host's shared
+    :class:`UplinkBudget` ledger (packet-major, children in tree
+    order), so a host forwarding in several trees defers behind its own
+    earlier traffic.  ``start_time`` places the send on the shared
+    clock and ``host_key`` maps a ring identifier to the ledger key
+    (identity by default; the service plane keys by host name, since
+    one host holds a different identifier in every group).  Successive
+    calls against one budget model *batched* sends — the event-driven
+    service plane (:mod:`repro.multicast.plane`) interleaves at true
+    event granularity instead.
     """
     if message_kbits <= 0:
         raise ValueError(f"message size must be positive, got {message_kbits}")
     if packet_count < 1:
         raise ValueError(f"packet count must be >= 1, got {packet_count}")
     latency = hop_latency if hop_latency is not None else (lambda a, b: 0.0)
+    key = host_key if host_key is not None else (lambda ident: ident)
     packet_kbits = message_kbits / packet_count
 
     children: dict[int, list[int]] = {ident: [] for ident in tree.parent}
@@ -98,9 +180,9 @@ def simulate_tree_transfer(
 
     # arrival[v][i] = when packet i has fully arrived at v
     source = tree.source_ident
-    arrival: dict[int, list[float]] = {source: [0.0] * packet_count}
-    completion: dict[int, float] = {source: 0.0}
-    first: dict[int, float] = {source: 0.0}
+    arrival: dict[int, list[float]] = {source: [start_time] * packet_count}
+    completion: dict[int, float] = {source: start_time}
+    first: dict[int, float] = {source: start_time}
 
     queue: deque[int] = deque([source])
     while queue:
@@ -114,9 +196,28 @@ def simulate_tree_transfer(
                 f"node {parent} has no bandwidth; timed transfer needs "
                 "per-node bandwidths"
             )
+        parent_arrivals = arrival[parent]
+        if budget is not None:
+            # shared-uplink model: whole uplink per transmission, FIFO
+            # through the host's cross-group ledger, packet-major so
+            # every child's stream starts as early as possible
+            serialize = packet_kbits / node.bandwidth_kbps
+            host = key(parent)
+            times = {child: [0.0] * packet_count for child in kids}
+            for index in range(packet_count):
+                for child in kids:
+                    _, done = budget.reserve(
+                        host, parent_arrivals[index], serialize
+                    )
+                    times[child][index] = done + latency(parent, child)
+            for child in kids:
+                arrival[child] = times[child]
+                completion[child] = times[child][-1]
+                first[child] = times[child][0]
+                queue.append(child)
+            continue
         share = node.bandwidth_kbps / len(kids)
         serialize = packet_kbits / share
-        parent_arrivals = arrival[parent]
         for child in kids:
             delay = latency(parent, child)
             times = [0.0] * packet_count

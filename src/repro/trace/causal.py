@@ -80,6 +80,10 @@ class MulticastRecord:
     duplicates: list[tuple[int, int, float]] = field(default_factory=list)
     sends: list[SendAttempt] = field(default_factory=list)
     departed: frozenset[int] = frozenset()
+    #: the service-plane group the send belongs to (None outside the plane)
+    group: str | None = None
+    #: the group's sequence number for this send (None outside the plane)
+    group_seq: int | None = None
 
     @property
     def delivered_members(self) -> set[int]:
@@ -261,6 +265,8 @@ def reconstruct(events: Sequence[TraceEvent], mid: int) -> MulticastRecord:
         origin_time=origin.time,
         members=frozenset(data["members"]),
         capacities={ident: capacity for ident, capacity in data["capacities"]},
+        group=data.get("group"),
+        group_seq=data.get("seq"),
     )
     departed: set[int] = set()
     for event in events:

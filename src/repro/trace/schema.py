@@ -63,6 +63,12 @@ OPTIONAL: dict[str, tuple[str, ...]] = {
     "net.send": ("mid", "limit", "depth", "rid", "reply"),
     "net.deliver": ("mid", "limit", "depth", "rid", "reply"),
     "net.drop": ("mid", "limit", "depth", "rid", "reply"),
+    # the multi-group service plane keys mc.* events by group and
+    # stamps each send with the group's sequence number; single-group
+    # emitters (the protocol peers) omit both
+    "mc.origin": ("group", "seq"),
+    "mc.deliver": ("group", "seq"),
+    "mc.dup": ("group", "seq"),
 }
 
 #: reasons a datagram can be dropped (mirrors NetworkStats counters)

@@ -1,10 +1,25 @@
 """Workload generation for experiments and examples.
 
-:class:`GroupSpec` is JSON round-trippable (``to_json_dict`` /
-``from_json_dict``), so scenario specs (:mod:`repro.scenarios`) can
-embed group workloads the same way fault plans embed their schedules.
+:class:`GroupSpec` and :class:`ServiceWorkloadSpec` are JSON
+round-trippable (``to_json_dict`` / ``from_json_dict``), so scenario
+specs (:mod:`repro.scenarios`) can embed group and service workloads
+the same way fault plans embed their schedules.
 """
 
-from repro.workloads.groups import GroupSpec, generate_group
+from repro.workloads.groups import (
+    GroupSpec,
+    ServiceEvent,
+    ServiceWorkload,
+    ServiceWorkloadSpec,
+    generate_group,
+    generate_service_workload,
+)
 
-__all__ = ["GroupSpec", "generate_group"]
+__all__ = [
+    "GroupSpec",
+    "ServiceEvent",
+    "ServiceWorkload",
+    "ServiceWorkloadSpec",
+    "generate_group",
+    "generate_service_workload",
+]

@@ -29,6 +29,11 @@ def trajectory(tmp_path):
                             "fig6": {"cold_median_s": 1.0},
                             "fig8": {"cold_median_s": 2.0},
                             "extL": {"cold_median_s": 0.5},
+                            "extN": {"cold_median_s": 0.5},
+                        },
+                        "service": {
+                            "wall_s": 1.0,
+                            "deliveries_per_sec": 25.0,
                         },
                     }
                 ],
@@ -38,9 +43,17 @@ def trajectory(tmp_path):
     return path
 
 
-def run_quick(monkeypatch, tmp_path, trajectory, timings):
+def run_quick(monkeypatch, tmp_path, trajectory, timings, service_wall=1.0):
     monkeypatch.setattr(
         bench_core, "time_figure", lambda name, scale, seed=0: timings[name]
+    )
+    monkeypatch.setattr(
+        bench_core,
+        "measure_service",
+        lambda scale, seed=0: {
+            "wall_s": service_wall,
+            "deliveries_per_sec": 25.0,
+        },
     )
     result_path = tmp_path / "bench_quick.json"
     code = bench_core.main(
@@ -57,7 +70,10 @@ def run_quick(monkeypatch, tmp_path, trajectory, timings):
 
 def test_quick_passes_within_tolerance(monkeypatch, tmp_path, trajectory):
     code, result = run_quick(
-        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1, "extL": 0.5}
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
     )
     assert code == 0
     assert result["passed"] is True
@@ -73,7 +89,7 @@ def test_quick_fails_on_regression_but_still_writes_result(
         monkeypatch,
         tmp_path,
         trajectory,
-        {"fig6": 1.2, "fig8": 2.0 * 1.31, "extL": 0.5},
+        {"fig6": 1.2, "fig8": 2.0 * 1.31, "extL": 0.5, "extN": 0.5},
     )
     assert code == 1
     assert result["passed"] is False
@@ -91,7 +107,12 @@ def test_quick_noise_floor_forgives_small_absolute_slowdowns(
         monkeypatch,
         tmp_path,
         trajectory,
-        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5 + bench_core.NOISE_FLOOR_S},
+        {
+            "fig6": 1.2,
+            "fig8": 2.1,
+            "extL": 0.5 + bench_core.NOISE_FLOOR_S,
+            "extN": 0.5,
+        },
     )
     assert code == 0
     assert result["passed"] is True
@@ -108,11 +129,47 @@ def test_quick_skips_figures_missing_from_baseline(
     del stale["entries"][-1]["figures"]["extL"]
     trajectory.write_text(json.dumps(stale))
     code, result = run_quick(
-        monkeypatch, tmp_path, trajectory, {"fig6": 1.2, "fig8": 2.1, "extL": 0.5}
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
     )
     assert code == 0
     assert result["passed"] is True
     assert "extL" not in result["figures"]
+
+
+def test_quick_gates_service_throughput(monkeypatch, tmp_path, trajectory):
+    """The sustained-throughput entry is held to the same tolerance as
+    the figures: a service wall-clock past 1.3x the committed entry
+    (and past the noise floor) fails the gate."""
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
+        service_wall=1.0 * 1.31 + bench_core.NOISE_FLOOR_S,
+    )
+    assert code == 1
+    assert result["passed"] is False
+    assert result["service"]["ok"] is False
+    assert result["service"]["baseline_wall_s"] == 1.0
+
+
+def test_quick_skips_service_missing_from_baseline(
+    monkeypatch, tmp_path, trajectory
+):
+    stale = json.loads(trajectory.read_text())
+    del stale["entries"][-1]["service"]
+    trajectory.write_text(json.dumps(stale))
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
+    )
+    assert code == 0
+    assert result["service"] is None
 
 
 def test_quick_rejects_scale_mismatch(monkeypatch, tmp_path, trajectory):
@@ -134,6 +191,9 @@ def test_quick_rejects_scale_mismatch(monkeypatch, tmp_path, trajectory):
 def test_quick_never_appends_to_trajectory(monkeypatch, tmp_path, trajectory):
     before = trajectory.read_text()
     run_quick(
-        monkeypatch, tmp_path, trajectory, {"fig6": 0.5, "fig8": 0.5, "extL": 0.5}
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 0.5, "fig8": 0.5, "extL": 0.5, "extN": 0.5},
     )
     assert trajectory.read_text() == before

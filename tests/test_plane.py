@@ -1,0 +1,404 @@
+"""Tests for the event-driven multi-group service plane."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multicast.plane import SequenceLedger, ServicePlane
+
+
+def make_plane(
+    hosts: int = 20, kbps: float = 400.0, space_bits: int = 14
+) -> ServicePlane:
+    plane = ServicePlane(space_bits=space_bits)
+    for index in range(hosts):
+        plane.register_host(f"h{index}", kbps)
+    return plane
+
+
+class TestSequenceLedger:
+    def test_contiguous_delivery_is_clean(self):
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        for _ in range(3):
+            seq = ledger.issue()
+            assert ledger.record("a", seq) == "ok"
+        audit = ledger.audit()
+        assert audit.clean
+        assert ledger.issued == 3
+
+    def test_gap_is_named_exactly(self):
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        ledger.issue(); ledger.issue(); ledger.issue()
+        ledger.record("a", 1)
+        ledger.record("a", 3)
+        audit = ledger.audit()
+        assert audit.gaps == {"a": (2,)}
+        ledger.record("a", 2)
+        assert ledger.audit().clean
+
+    def test_out_of_order_is_not_a_gap(self):
+        # overlapping sends complete out of order; the cursor's ahead
+        # set absorbs them without false gaps
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        for _ in range(4):
+            ledger.issue()
+        for seq in (3, 1, 4, 2):
+            assert ledger.record("a", seq) == "ok"
+        assert ledger.audit().clean
+
+    def test_duplicate_detected_across_overlap(self):
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        ledger.issue(); ledger.issue()
+        assert ledger.record("a", 2) == "ok"
+        assert ledger.record("a", 2) == "dup"  # still in the ahead set
+        assert ledger.record("a", 1) == "ok"
+        assert ledger.record("a", 1) == "dup"  # behind the cursor now
+        assert ledger.audit().dups == 2
+
+    def test_joiner_obligated_from_next_seq(self):
+        ledger = SequenceLedger()
+        ledger.admit("old")
+        ledger.issue()  # seq 1: only old is obligated
+        ledger.admit("young")  # obligated from 2 on
+        ledger.issue()
+        ledger.record("old", 1); ledger.record("old", 2)
+        ledger.record("young", 2)
+        assert ledger.audit().clean
+        # a stray delivery of seq 1 to the joiner is out of obligation
+        assert ledger.record("young", 1) == "unexpected"
+        assert ledger.audit().unexpected == 1
+
+    def test_leaver_stays_accountable(self):
+        ledger = SequenceLedger()
+        ledger.admit("a"); ledger.admit("b")
+        ledger.issue()
+        ledger.retire("b")  # leaves after seq 1 was issued
+        ledger.issue()  # b is NOT obligated for seq 2
+        ledger.record("a", 1); ledger.record("a", 2)
+        audit = ledger.audit()
+        assert audit.gaps == {"b": (1,)}  # the in-flight send still owed
+        ledger.record("b", 1)
+        assert ledger.audit().clean
+        assert ledger.record("b", 2) == "unexpected"
+
+    def test_rejoin_gets_a_fresh_stint(self):
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        ledger.issue()
+        ledger.record("a", 1)
+        ledger.retire("a")
+        ledger.issue()  # seq 2 while away: not owed
+        ledger.admit("a")  # rejoin: obligated from 3
+        ledger.issue()
+        ledger.record("a", 3)
+        assert ledger.audit().clean
+        assert ledger.record("a", 2) == "unexpected"
+        with pytest.raises(ValueError, match="already tracked"):
+            ledger.admit("a")
+
+    def test_double_retire_rejected(self):
+        ledger = SequenceLedger()
+        ledger.admit("a")
+        ledger.retire("a")
+        with pytest.raises(ValueError, match="not actively tracked"):
+            ledger.retire("a")
+
+
+class TestPlaneSends:
+    def test_single_send_completes_everyone(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(10)])
+        receipt = plane.send("g", "h0", message_kbits=16.0)
+        assert not receipt.complete  # nothing ran yet
+        plane.drain()
+        assert receipt.complete
+        receipt.verify_complete()
+        assert set(receipt.delivered) == set(receipt.members)
+        plane.verify_quiesced()
+
+    def test_interleaved_groups_share_one_clock(self):
+        plane = make_plane()
+        plane.create_group("a", [f"h{i}" for i in range(8)])
+        plane.create_group("b", [f"h{i}" for i in range(4, 12)])
+        r1 = plane.send("a", "h0", 32.0)
+        r2 = plane.send("b", "h4", 32.0)
+        plane.drain()
+        plane.verify_quiesced()
+        # shared hosts h4..h7 serialized both groups on one uplink:
+        # the budget must show deferred slots
+        assert plane.budget.deferrals() > 0
+        report = plane.report()
+        assert report.total_deliveries == (len(r1.members) - 1) + (
+            len(r2.members) - 1
+        )
+
+    def test_sequence_numbers_are_per_group(self):
+        plane = make_plane()
+        plane.create_group("a", ["h0", "h1", "h2"])
+        plane.create_group("b", ["h3", "h4", "h5"])
+        assert plane.send("a", "h0").seq == 1
+        assert plane.send("b", "h3").seq == 1
+        assert plane.send("a", "h1").seq == 2
+        plane.drain()
+        plane.verify_quiesced()
+
+    def test_send_to_unknown_group_rejected(self):
+        plane = make_plane()
+        with pytest.raises(KeyError, match="no group named"):
+            plane.send("ghost", "h0")
+
+    def test_send_after_drop_rejected(self):
+        plane = make_plane()
+        plane.create_group("g", ["h0", "h1"])
+        plane.drop_group("g")
+        with pytest.raises(KeyError):
+            plane.send("g", "h0")
+
+    def test_charges_the_service_ledger(self):
+        # the plane's timed sends charge the same per-host ledger the
+        # synchronous service does
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(10)])
+        plane.send("g", "h0", message_kbits=4.0)
+        plane.drain()
+        load = plane.service.host_load_kbits()
+        assert sum(load.values()) == pytest.approx(9 * 4.0)
+
+
+class TestMidStreamMembership:
+    def test_join_mid_stream_is_not_owed_inflight_sends(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        inflight = plane.send("g", "h0", 64.0)
+        plane.join("g", "h15")  # joins while the send is in flight
+        plane.drain()
+        plane.verify_quiesced()  # joiner owes nothing for seq 1
+        assert "h15" not in inflight.members
+        assert "h15" not in inflight.delivered
+
+    def test_joiner_receives_subsequent_sends(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        plane.send("g", "h0", 16.0)
+        plane.join("g", "h15")
+        later = plane.send("g", "h1", 16.0)
+        assert "h15" in later.members
+        plane.drain()
+        plane.verify_quiesced()
+        assert "h15" in later.delivered
+
+    def test_leaver_still_receives_inflight_sends(self):
+        # frozen send-time membership: the in-flight send finishes
+        # against its origin member set even though h3 left mid-stream
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        inflight = plane.send("g", "h0", 64.0)
+        plane.leave("g", "h3")
+        assert "h3" in inflight.members
+        later = plane.send("g", "h0", 16.0)
+        assert "h3" not in later.members
+        plane.drain()
+        plane.verify_quiesced()
+        assert "h3" in inflight.delivered
+        assert "h3" not in later.delivered
+
+    def test_send_later_freezes_at_fire_time(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(6)])
+        placed = plane.send_later(1.0, "g", "h0", 8.0)
+        plane.join("g", "h10")  # before the send fires
+        plane.drain()
+        plane.verify_quiesced()
+        assert "h10" in placed.value.members
+
+    def test_drop_mid_stream_finishes_inflight(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        inflight = plane.send("g", "h0", 64.0)
+        plane.drop_group("g")
+        plane.drain()
+        plane.verify_quiesced()
+        assert inflight.complete
+        inflight.verify_complete()
+
+    def test_rebuild_preserves_identifiers(self):
+        plane = make_plane()
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        before = {
+            name: plane.service.member_ident("g", name)
+            for name in plane.service.members_of("g")
+        }
+        plane.join("g", "h15")
+        plane.leave("g", "h2")
+        for name in plane.service.members_of("g"):
+            if name in before:
+                assert plane.service.member_ident("g", name) == before[name]
+
+
+class TestBackpressure:
+    def test_saturated_host_defers_forwarding_slots(self):
+        # one slow host is the source of two groups' sends: the second
+        # group's forwarding must queue behind the first on its uplink
+        plane = ServicePlane(space_bits=14)
+        plane.register_host("slow", 50.0)
+        for index in range(10):
+            plane.register_host(f"h{index}", 800.0)
+        plane.create_group("a", ["slow"] + [f"h{i}" for i in range(5)])
+        plane.create_group("b", ["slow"] + [f"h{i}" for i in range(5, 10)])
+        plane.send("a", "slow", 100.0)
+        plane.send("b", "slow", 100.0)
+        plane.drain()
+        plane.verify_quiesced()
+        assert plane.budget.deferrals("slow") > 0
+        report = plane.report()
+        deferrals = {row["group"]: row["deferrals"] for row in report.rows}
+        # group b queued behind a's serialization on the shared uplink
+        assert deferrals["b"] > 0
+
+    def test_unshared_groups_do_not_defer(self):
+        plane = make_plane(hosts=16, kbps=1000.0)
+        plane.create_group("a", [f"h{i}" for i in range(8)])
+        plane.create_group("b", [f"h{i}" for i in range(8, 16)])
+        plane.send("a", "h0", 8.0)
+        plane.send("b", "h8", 8.0)
+        plane.drain()
+        plane.verify_quiesced()
+        # disjoint hosts, one message each: every uplink starts free...
+        report = plane.report()
+        for row in report.rows:
+            # ...so any deferral comes only from a node's own fanout
+            # (several children share its one uplink), never from the
+            # other group
+            assert row["deferrals"] == plane.budget.deferrals() - sum(
+                other["deferrals"]
+                for other in report.rows
+                if other["group"] != row["group"]
+            )
+
+    def test_goodput_reported_per_group(self):
+        plane = make_plane()
+        plane.create_group("a", [f"h{i}" for i in range(6)])
+        plane.create_group("b", [f"h{i}" for i in range(6, 12)])
+        plane.send("a", "h0", 40.0)
+        plane.send("b", "h6", 10.0)
+        plane.drain()
+        report = plane.report()
+        rows = {row["group"]: row for row in report.rows}
+        assert rows["a"]["deliveries"] == 5
+        assert rows["b"]["deliveries"] == 5
+        assert rows["a"]["goodput_kbps"] > 0
+        assert report.render()  # the table renders
+
+    def test_queue_depth_tracks_outstanding_hops(self):
+        plane = make_plane(hosts=10, kbps=100.0)
+        plane.create_group("g", [f"h{i}" for i in range(10)])
+        plane.send("g", "h0", 50.0)
+        plane.drain()
+        report = plane.report()
+        (row,) = report.rows
+        assert row["max_queue_depth"] >= 1
+
+
+class TestManyGroupsUnderChurn:
+    def test_200_groups_with_mid_stream_churn(self):
+        # the acceptance bar: 200 concurrent groups, poisson join/leave
+        # firing mid-dissemination, every oracle green after quiesce
+        from repro.workloads import (
+            ServiceWorkloadSpec,
+            generate_service_workload,
+        )
+
+        spec = ServiceWorkloadSpec(
+            groups=200,
+            hosts=500,
+            group_size=6,
+            horizon_s=30.0,
+            send_interval_s=6.0,
+            churn_rate=0.05,
+            mean_hold_s=None,  # all 200 stay concurrent
+            message_kbits=8.0,
+        )
+        workload = generate_service_workload(spec, seed=7)
+        counts = workload.counts()
+        assert counts["create"] == 200
+        assert counts.get("join", 0) + counts.get("leave", 0) > 0
+        plane = ServicePlane(space_bits=15)
+        for name, kbps in workload.hosts:
+            plane.register_host(name, kbps)
+        plane.replay(workload.events)
+        plane.drain()
+        plane.verify_quiesced()
+        report = plane.report()
+        assert len(report.rows) == 200
+        assert report.total_deliveries > 0
+        audit = plane.audit()
+        assert audit.clean
+
+    def test_replay_is_deterministic(self):
+        from repro.workloads import (
+            ServiceWorkloadSpec,
+            generate_service_workload,
+        )
+
+        spec = ServiceWorkloadSpec(
+            groups=12, hosts=60, group_size=5, horizon_s=20.0,
+            send_interval_s=3.0, churn_rate=0.1, mean_hold_s=15.0,
+        )
+        workload = generate_service_workload(spec, seed=3)
+
+        def run() -> tuple:
+            plane = ServicePlane(space_bits=14)
+            for name, kbps in workload.hosts:
+                plane.register_host(name, kbps)
+            plane.replay(workload.events)
+            plane.drain()
+            plane.verify_quiesced()
+            return plane.report()
+
+        assert run() == run()
+
+
+class TestExtNExperiment:
+    def test_bench_scale_runs_and_renders(self):
+        from repro.experiments import ext_service
+        from repro.experiments.common import SCALES
+
+        result = ext_service.run(SCALES["bench"], seed=0)
+        assert result.figure == "extN"
+        rendered = result.render()
+        assert "deliveries" in rendered.lower() or "extN" in rendered
+        # one series per churn rate, one point per group count
+        assert len(result.series) == len(ext_service.CHURN_RATES["bench"])
+        for series in result.series:
+            assert len(series.points) == len(ext_service.GROUP_COUNTS["bench"])
+            assert all(y > 0 for _, y in series.points)
+
+    def test_parallel_matches_serial(self):
+        from repro.experiments.common import SCALES
+        from repro.experiments.parallel import run_experiments
+
+        bench = SCALES["bench"]
+        serial = run_experiments(["extN"], bench, seeds=[0], jobs=1)
+        fanned = run_experiments(["extN"], bench, seeds=[0], jobs=2)
+        assert serial[0].result.render() == fanned[0].result.render()
+
+    def test_every_cell_is_audited(self):
+        # run_point itself runs the quiesce oracles; a bench cell with
+        # churn must come back with the full metric set
+        from repro.experiments import ext_service
+        from repro.experiments.common import SCALES
+
+        bench = SCALES["bench"]
+        point = ext_service.sweep(bench)[-1]
+        metrics = ext_service.run_point(bench, seed=0, point=point)
+        for key in (
+            "groups", "churn", "deliveries", "deliveries_per_sec",
+            "deferrals", "max_queue_depth", "peak_concurrent",
+        ):
+            assert key in metrics, key
+        assert metrics["deliveries"] > 0
+        assert metrics["peak_concurrent"] >= 1

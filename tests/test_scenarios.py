@@ -322,3 +322,52 @@ class TestCli:
         bogus.write_text('{"nonsense": true}\n')
         with pytest.raises(SystemExit, match="neither a scenario spec"):
             main(["replay", str(bogus)])
+
+
+class TestMultiGroupPlane:
+    def test_groups_knob_round_trips(self):
+        spec = ScenarioSpec(
+            name="many-rooms",
+            topology=TopologyAxis(size=30),
+            workload=WorkloadAxis(multicasts=1, groups=4),
+        )
+        blob = json.dumps(spec.to_json_dict(), sort_keys=True)
+        assert '"groups": 4' in blob
+        reloaded = ScenarioSpec.from_json_dict(json.loads(blob))
+        assert reloaded == spec
+        assert reloaded.workload.groups == 4
+
+    def test_default_groups_absent_from_json(self):
+        # existing single-group artifacts must stay byte-identical, so
+        # the default groups=1 never appears in serialized specs/cells
+        for name in scenario_names():
+            spec = get_scenario(name)
+            assert spec.workload.groups == 1
+            assert "groups" not in json.dumps(spec.to_json_dict())
+            cell = compile_cell(spec, "cam-chord", 0)
+            assert "groups" not in json.dumps(cell.to_json_dict())
+
+    def test_groups_validated(self):
+        with pytest.raises(ValueError, match="groups"):
+            WorkloadAxis(groups=0)
+
+    def test_plane_row_only_for_multi_group_cells(self):
+        single = run_cell(compile_cell(LIBRARY["flash-crowd"], "cam-chord", 0))
+        assert single.plane is None
+        assert "plane" not in single.row()
+
+    def test_multi_group_cell_runs_plane_phase(self):
+        spec = ScenarioSpec(
+            name="rooms",
+            topology=TopologyAxis(size=24),
+            workload=WorkloadAxis(multicasts=1, groups=3),
+        )
+        cell = compile_cell(spec, "cam-chord", 0)
+        assert cell.groups == 3
+        outcome = run_cell(cell)
+        assert outcome.plane is not None
+        assert outcome.plane["groups"] == 3
+        assert outcome.plane["deliveries"] > 0
+        assert outcome.row()["plane"] == outcome.plane
+        # deterministic: same cell, same plane summary
+        assert run_cell(cell).plane == outcome.plane

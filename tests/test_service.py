@@ -76,6 +76,61 @@ class TestGroups:
         with pytest.raises(KeyError):
             service.group("g")
 
+    def test_drop_unknown_group_raises(self):
+        # drop_group used to silently no-op on unknown names while
+        # group() raised — both now fail the same way
+        service = populated_service()
+        with pytest.raises(KeyError, match="no group named 'ghost'"):
+            service.drop_group("ghost")
+
+    def test_dropped_group_load_stays_in_ledger(self):
+        # host_load_kbits is a historical account of what each uplink
+        # carried; tearing a group down does not refund its traffic
+        service = populated_service()
+        service.create_group("g", [f"host-{i}" for i in range(10)])
+        service.multicast("g", "host-0", message_kbits=3.0)
+        before = sum(service.host_load_kbits().values())
+        assert before == pytest.approx(9 * 3.0)
+        service.drop_group("g")
+        assert sum(service.host_load_kbits().values()) == pytest.approx(before)
+
+    def test_join_group_rebuilds_and_keeps_identifiers(self):
+        service = populated_service()
+        service.create_group("g", [f"host-{i}" for i in range(10)])
+        before = {
+            name: service.member_ident("g", name)
+            for name in service.members_of("g")
+        }
+        service.join_group("g", "host-40")
+        assert "host-40" in service.members_of("g")
+        # salted per group/host placement: old members keep their rings
+        for name, ident in before.items():
+            assert service.member_ident("g", name) == ident
+        assert service.multicast("g", "host-40").receiver_count == 11
+
+    def test_join_rejects_unregistered_and_duplicate(self):
+        service = populated_service()
+        service.create_group("g", ["host-0", "host-1"])
+        with pytest.raises(KeyError, match="unregistered"):
+            service.join_group("g", "ghost")
+        with pytest.raises(ValueError, match="already a member"):
+            service.join_group("g", "host-0")
+
+    def test_leave_group_rebuilds_remaining(self):
+        service = populated_service()
+        service.create_group("g", [f"host-{i}" for i in range(6)])
+        service.leave_group("g", "host-2")
+        assert "host-2" not in service.members_of("g")
+        assert service.multicast("g", "host-0").receiver_count == 5
+        with pytest.raises(KeyError, match="not a member"):
+            service.leave_group("g", "host-2")
+
+    def test_leave_refuses_last_member(self):
+        service = populated_service()
+        service.create_group("g", ["host-0"])
+        with pytest.raises(ValueError, match="last member"):
+            service.leave_group("g", "host-0")
+
     def test_non_member_source_rejected(self):
         service = populated_service()
         service.create_group("g", ["host-0", "host-1"])
@@ -115,3 +170,74 @@ class TestCrossGroupAccounting:
         service.multicast("a", "host-0")
         load = service.host_load_kbits()
         assert load["host-59"] == 0.0
+
+    def test_one_host_in_many_groups_sums_exactly(self):
+        # one host forwarding in N groups: its ledger entry must equal
+        # the sum over groups of children_counts x message_kbits, to the
+        # kilobit — attribution is exact, not approximate
+        service = populated_service()
+        group_count = 4
+        kbits = {"g0": 1.0, "g1": 2.5, "g2": 4.0, "g3": 0.5}
+        for index in range(group_count):
+            # host-0 sits in every group; the rest of each group differs
+            members = ["host-0"] + [
+                f"host-{i}" for i in range(1 + index * 12, 13 + index * 12)
+            ]
+            service.create_group(f"g{index}", members)
+        expected: dict[str, float] = {name: 0.0 for name in service.hosts}
+        for index in range(group_count):
+            group_name = f"g{index}"
+            result = service.multicast(
+                group_name, "host-0", message_kbits=kbits[group_name]
+            )
+            members = service._members[group_name]
+            ident_to_name = {ident: name for name, ident in members.items()}
+            for ident, count in result.children_counts().items():
+                expected[ident_to_name[ident]] += count * kbits[group_name]
+        load = service.host_load_kbits()
+        for name, want in expected.items():
+            assert load[name] == pytest.approx(want), name
+        # and the host in every group really did forward in several
+        assert load["host-0"] > 0.0
+
+    def test_teardown_never_corrupts_other_groups(self):
+        # property test: create groups, multicast, drop some groups in
+        # varying orders — surviving groups' traffic accounting and the
+        # global ledger stay exact throughout
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            drops=st.lists(
+                st.integers(min_value=0, max_value=3),
+                min_size=0, max_size=4, unique=True,
+            ),
+            rounds=st.integers(min_value=1, max_value=3),
+        )
+        def run(drops: list[int], rounds: int) -> None:
+            service = populated_service(host_count=40)
+            sizes = {}
+            for index in range(4):
+                members = [f"host-{i}" for i in range(index * 9, index * 9 + 9)]
+                service.create_group(f"g{index}", members)
+                sizes[f"g{index}"] = len(members)
+            total = 0.0
+            for _ in range(rounds):
+                for index in range(4):
+                    service.multicast(f"g{index}", f"host-{index * 9}", 2.0)
+                    total += (sizes[f"g{index}"] - 1) * 2.0
+            for index in drops:
+                service.drop_group(f"g{index}")
+            # ledger unchanged by teardown
+            assert sum(service.host_load_kbits().values()) == pytest.approx(total)
+            # surviving groups still deliver and charge correctly
+            for index in range(4):
+                if index in drops:
+                    continue
+                result = service.multicast(f"g{index}", f"host-{index * 9}", 1.0)
+                assert result.receiver_count == sizes[f"g{index}"]
+                total += (sizes[f"g{index}"] - 1) * 1.0
+            assert sum(service.host_load_kbits().values()) == pytest.approx(total)
+
+        run()

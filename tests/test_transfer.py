@@ -164,3 +164,124 @@ class TestValidation:
         result = simulate_tree_transfer(tree, snap, message_kbits=10)
         assert result.session_completion == 0.0
         assert analytic_bottleneck_kbps(tree, snap) == 500.0
+
+
+class TestUplinkBudget:
+    def test_free_uplink_starts_immediately(self):
+        from repro.sim.transfer import UplinkBudget
+
+        budget = UplinkBudget()
+        start, done = budget.reserve("h", now=1.0, duration=0.5)
+        assert (start, done) == (1.0, 1.5)
+        assert budget.deferrals() == 0
+        assert budget.free_at("h") == 1.5
+
+    def test_busy_uplink_defers(self):
+        from repro.sim.transfer import UplinkBudget
+
+        budget = UplinkBudget()
+        budget.reserve("h", now=0.0, duration=2.0)
+        start, done = budget.reserve("h", now=1.0, duration=0.5)
+        assert (start, done) == (2.0, 2.5)
+        assert budget.deferrals("h") == 1
+        assert budget.backlog("h", 1.0) == pytest.approx(1.5)
+
+    def test_hosts_are_independent(self):
+        from repro.sim.transfer import UplinkBudget
+
+        budget = UplinkBudget()
+        budget.reserve("a", now=0.0, duration=5.0)
+        start, _ = budget.reserve("b", now=0.0, duration=1.0)
+        assert start == 0.0
+        assert budget.deferrals() == 0
+        assert budget.reservations() == 2
+
+    def test_negative_duration_rejected(self):
+        from repro.sim.transfer import UplinkBudget
+
+        budget = UplinkBudget()
+        with pytest.raises(ValueError, match=">= 0"):
+            budget.reserve("h", now=0.0, duration=-1.0)
+
+    def test_gap_after_idle_does_not_defer(self):
+        from repro.sim.transfer import UplinkBudget
+
+        budget = UplinkBudget()
+        budget.reserve("h", now=0.0, duration=1.0)
+        start, _ = budget.reserve("h", now=3.0, duration=1.0)
+        assert start == 3.0  # uplink went idle at 1.0; no deferral
+        assert budget.deferrals("h") == 0
+
+
+class TestBudgetHook:
+    def test_no_budget_path_unchanged(self):
+        from repro.multicast.cam_chord import cam_chord_multicast
+        from repro.overlay.cam_chord import CamChordOverlay
+
+        # the default (budget=None) path must be byte-identical to the
+        # historical per-child-share model
+        rng = Random(9)
+        idents = sorted(rng.sample(range(1 << 12), 60))
+        caps = [rng.randint(2, 8) for _ in idents]
+        bws = [rng.uniform(400, 1000) for _ in idents]
+        snap = make_snapshot(12, idents, capacity=caps, bandwidth=bws)
+        overlay = CamChordOverlay(snap)
+        tree = cam_chord_multicast(overlay, snap.nodes[0])
+        a = simulate_tree_transfer(tree, snap, message_kbits=500, packet_count=8)
+        b = simulate_tree_transfer(
+            tree, snap, message_kbits=500, packet_count=8, budget=None
+        )
+        assert a.completion_time == b.completion_time
+        assert a.first_packet_time == b.first_packet_time
+
+    def test_shared_budget_serializes_two_trees(self):
+        from repro.sim.transfer import UplinkBudget
+
+        # two sends rooted at the same host against one shared budget:
+        # the second must queue behind the first's serialization
+        snap = make_snapshot(8, [0, 10, 20], capacity=4, bandwidth=100.0)
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        tree.record_delivery(20, 0)
+        budget = UplinkBudget()
+        first = simulate_tree_transfer(
+            tree, snap, message_kbits=100, packet_count=2, budget=budget
+        )
+        second = simulate_tree_transfer(
+            tree, snap, message_kbits=100, packet_count=2, budget=budget
+        )
+        assert budget.deferrals(0) > 0
+        # every receiver in send 2 lands after send 1's uplink is done
+        second_receivers = [
+            t for ident, t in second.completion_time.items() if ident != 0
+        ]
+        assert min(second_receivers) > max(first.completion_time.values()) - 1e-9
+
+    def test_start_time_places_send_on_shared_clock(self):
+        from repro.sim.transfer import UplinkBudget
+
+        snap = make_snapshot(8, [0, 10], capacity=4, bandwidth=100.0)
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        budget = UplinkBudget()
+        result = simulate_tree_transfer(
+            tree, snap, message_kbits=100, packet_count=4,
+            budget=budget, start_time=5.0,
+        )
+        # 100 kbits at 100 kbps starting at t=5
+        assert result.completion_time[10] == pytest.approx(6.0)
+        assert budget.free_at(0) == pytest.approx(6.0)
+
+    def test_host_key_maps_ledger_keys(self):
+        from repro.sim.transfer import UplinkBudget
+
+        snap = make_snapshot(8, [0, 10], capacity=4, bandwidth=100.0)
+        tree = MulticastResult(source_ident=0)
+        tree.record_delivery(10, 0)
+        budget = UplinkBudget()
+        simulate_tree_transfer(
+            tree, snap, message_kbits=10, packet_count=1,
+            budget=budget, host_key=lambda ident: f"name-{ident}",
+        )
+        assert budget.free_at("name-0") > 0.0
+        assert budget.free_at(0) == 0.0

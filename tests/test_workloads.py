@@ -114,3 +114,104 @@ class TestGenerateGroup:
         ]
         third = generate_group(spec, seed=10)
         assert [n.ident for n in first] != [n.ident for n in third]
+
+
+class TestServiceWorkloadSpec:
+    def test_round_trips_through_json(self):
+        from repro.workloads import ServiceWorkloadSpec
+
+        spec = ServiceWorkloadSpec(
+            groups=20, hosts=80, group_size=6, horizon_s=30.0,
+            send_interval_s=4.0, churn_rate=0.05, mean_hold_s=25.0,
+            message_kbits=16.0,
+        )
+        blob = json.dumps(spec.to_json_dict(), sort_keys=True)
+        reloaded = ServiceWorkloadSpec.from_json_dict(json.loads(blob))
+        assert reloaded == spec
+        assert json.dumps(reloaded.to_json_dict(), sort_keys=True) == blob
+
+    def test_validation(self):
+        from repro.workloads import ServiceWorkloadSpec
+
+        with pytest.raises(ValueError):
+            ServiceWorkloadSpec(groups=0, hosts=10, group_size=4, horizon_s=10.0)
+        with pytest.raises(ValueError):
+            ServiceWorkloadSpec(groups=2, hosts=3, group_size=4, horizon_s=10.0)
+        with pytest.raises(ValueError):
+            ServiceWorkloadSpec(groups=2, hosts=10, group_size=4, horizon_s=0.0)
+
+
+class TestGenerateServiceWorkload:
+    def _spec(self, **overrides):
+        from repro.workloads import ServiceWorkloadSpec
+
+        base = dict(
+            groups=15, hosts=60, group_size=5, horizon_s=25.0,
+            send_interval_s=3.0, churn_rate=0.1, mean_hold_s=20.0,
+        )
+        base.update(overrides)
+        return ServiceWorkloadSpec(**base)
+
+    def test_deterministic_per_seed(self):
+        from repro.workloads import generate_service_workload
+
+        spec = self._spec()
+        assert generate_service_workload(spec, seed=5) == (
+            generate_service_workload(spec, seed=5)
+        )
+        assert generate_service_workload(spec, seed=5) != (
+            generate_service_workload(spec, seed=6)
+        )
+
+    def test_events_sorted_and_legal(self):
+        from repro.workloads import generate_service_workload
+
+        workload = generate_service_workload(self._spec(), seed=2)
+        times = [event.time for event in workload.events]
+        assert times == sorted(times)
+        # walk the membership forward: every event must be legal at its
+        # firing time against the group state the generator promised
+        members: dict[str, set[str]] = {}
+        alive: set[str] = set()
+        for event in workload.events:
+            if event.action == "create":
+                assert event.group not in alive
+                alive.add(event.group)
+                members[event.group] = set(event.hosts)
+                assert len(event.hosts) >= 2
+            elif event.action == "join":
+                (host,) = event.hosts
+                assert event.group in alive and host not in members[event.group]
+                members[event.group].add(host)
+            elif event.action == "leave":
+                (host,) = event.hosts
+                assert event.group in alive and host in members[event.group]
+                assert len(members[event.group]) > 1
+                members[event.group].remove(host)
+            elif event.action == "send":
+                (host,) = event.hosts
+                assert event.group in alive and host in members[event.group]
+            elif event.action == "drop":
+                assert event.group in alive
+                alive.remove(event.group)
+            else:  # pragma: no cover
+                raise AssertionError(event.action)
+
+    def test_counts_match_spec(self):
+        from repro.workloads import generate_service_workload
+
+        workload = generate_service_workload(self._spec(groups=15), seed=0)
+        counts = workload.counts()
+        assert counts["create"] == 15
+        assert counts["send"] > 0
+        assert len(workload.hosts) == 60
+
+    def test_no_hold_means_no_drops(self):
+        from repro.workloads import generate_service_workload
+
+        workload = generate_service_workload(
+            self._spec(mean_hold_s=None, churn_rate=0.0), seed=1
+        )
+        counts = workload.counts()
+        assert "drop" not in counts
+        assert "join" not in counts and "leave" not in counts
