@@ -192,21 +192,33 @@ def measure_scenarios(seed: int = 0) -> dict:
     return scenarios
 
 
-def measure_service(scale, seed: int = 0) -> dict:
+def measure_service(scale, seed: int = 0, profile: Path | None = None) -> dict:
     """Sustained service-plane throughput at the heaviest extN cell.
 
     Runs the largest (group count, churn) point of the extN sweep once
-    and records the deliveries/sec the event-driven plane sustained —
-    the number a deployment provisions against — plus the wall time and
-    backpressure counters.  The quiesce oracles run inside
-    ``run_point``, so a recorded number is always an audited one.
+    and records **both** delivery rates: ``deliveries_per_sec`` (and
+    its explicit alias ``deliveries_per_sec_sim``) is deliveries per
+    *simulated* second — the number a deployment provisions against —
+    while ``deliveries_per_sec_wall`` is deliveries per *wall-clock*
+    second of plane execution, the rate the epoch-cached schedule path
+    accelerates.  ``sched_cache`` carries the cell's cache attribution.
+    The quiesce oracles run inside ``execute_point``, so a recorded
+    number is always an audited one.
+
+    With ``profile`` set, the same cell runs once more under cProfile
+    (separately, so profiler overhead never poisons the recorded
+    timings) and the top-20 cumulative functions land at that path.
     """
-    from repro.experiments.ext_service import CHURN_RATES, GROUP_COUNTS, run_point
+    from repro.experiments.ext_service import (
+        CHURN_RATES,
+        GROUP_COUNTS,
+        execute_point,
+    )
 
     groups = max(GROUP_COUNTS[scale.name])
     churn = max(CHURN_RATES[scale.name])
     started = time.perf_counter()
-    row = run_point(scale, seed, (groups, churn))
+    row, timings = execute_point(scale, seed, (groups, churn))
     wall = time.perf_counter() - started
     entry = {
         "groups": groups,
@@ -214,16 +226,47 @@ def measure_service(scale, seed: int = 0) -> dict:
         "peak_concurrent": row["peak_concurrent"],
         "deliveries": row["deliveries"],
         "deliveries_per_sec": round(row["deliveries_per_sec"], 4),
+        "deliveries_per_sec_sim": round(row["deliveries_per_sec"], 4),
+        "deliveries_per_sec_wall": round(
+            timings["deliveries_per_sec_wall"], 1
+        ),
+        "plane_wall_s": round(timings["plane_wall_s"], 4),
+        "sched_cache": row["sched_cache"],
         "deferrals": row["deferrals"],
         "max_queue_depth": row["max_queue_depth"],
         "wall_s": round(wall, 4),
     }
+    cache = row["sched_cache"]
     print(
         f"service groups={groups} churn={churn:g}: "
-        f"{row['deliveries_per_sec']:.1f} deliveries/s sustained, "
-        f"{row['deferrals']} deferrals, wall {wall:7.3f}s"
+        f"{row['deliveries_per_sec']:.1f} deliveries/s sim, "
+        f"{timings['deliveries_per_sec_wall']:.0f}/s wall, "
+        f"{row['deferrals']} deferrals, wall {wall:7.3f}s, "
+        f"cache {cache['hits']}h/{cache['misses']}m"
     )
+    if profile is not None:
+        _profile_service(scale, seed, (groups, churn), profile)
     return entry
+
+
+def _profile_service(scale, seed: int, point, out_path: Path) -> None:
+    """cProfile one extN cell and write the top-20 cumulative report."""
+    import cProfile
+    import io
+    import pstats
+
+    from repro.experiments.ext_service import execute_point
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    execute_point(scale, seed, point)
+    profiler.disable()
+    stream = io.StringIO()
+    pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(
+        20
+    )
+    out_path.write_text(stream.getvalue())
+    print(f"service profile (top-20 cumulative) -> {out_path}")
 
 
 def measure_scale_sweep(seed: int = 0) -> list[dict]:
@@ -244,7 +287,7 @@ def measure_scale_sweep(seed: int = 0) -> list[dict]:
     return results
 
 
-def measure(scale, repeats: int, seed: int = 0) -> dict:
+def measure(scale, repeats: int, seed: int = 0, profile: Path | None = None) -> dict:
     """Median cold + warm seconds per core figure, with perf totals.
 
     Each figure's entry carries its *own* counter delta (the perf
@@ -277,7 +320,7 @@ def measure(scale, repeats: int, seed: int = 0) -> dict:
     tracing = measure_tracing(scale, repeats, seed)
     systems = measure_systems(scale, seed)
     scenarios = measure_scenarios(seed)
-    service = measure_service(scale, seed)
+    service = measure_service(scale, seed, profile=profile)
     scale_sweep = measure_scale_sweep(seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -304,6 +347,8 @@ def quick_check(
     trajectory_path: Path,
     result_path: Path,
     tolerance: float,
+    dps_floor: float = 0.77,
+    profile: Path | None = None,
 ) -> int:
     """The CI perf smoke: gate fig6/fig8 cold medians on the committed
     baseline.  Returns a process exit code (1 = regression)."""
@@ -346,7 +391,7 @@ def quick_check(
     if "service" in baseline:
         # sustained-throughput gate: the heaviest extN cell's wall
         # clock must stay within tolerance of the committed entry
-        measured = measure_service(scale, seed)
+        measured = measure_service(scale, seed, profile=profile)
         committed_wall = baseline["service"]["wall_s"]
         ratio = measured["wall_s"] / committed_wall
         ok = ratio <= tolerance or (
@@ -365,6 +410,40 @@ def quick_check(
             f"{committed_wall:7.3f}s  ratio {ratio:5.2f}x  "
             f"[{'ok' if ok else 'REGRESSION'}]"
         )
+        baseline_dps = baseline["service"].get("deliveries_per_sec_wall")
+        if baseline_dps:
+            # delivery-rate floor: wall-clock deliveries/sec must stay
+            # at >= dps_floor of the committed rate (the inverse of
+            # the <= tolerance wall gates), with the same absolute
+            # noise escape — a sub-noise-floor slowdown on a cell this
+            # small is scheduler jitter, not a regression
+            dps = measured["deliveries_per_sec_wall"]
+            dps_ratio = dps / baseline_dps
+            slowdown = measured["plane_wall_s"] - baseline["service"].get(
+                "plane_wall_s", 0.0
+            )
+            dps_ok = dps_ratio >= dps_floor or slowdown <= NOISE_FLOOR_S
+            passed = passed and dps_ok
+            service.update(
+                {
+                    "deliveries_per_sec_wall": dps,
+                    "baseline_deliveries_per_sec_wall": baseline_dps,
+                    "dps_ratio": round(dps_ratio, 3),
+                    "dps_floor": dps_floor,
+                    "dps_ok": dps_ok,
+                }
+            )
+            print(
+                f"service wall rate {dps:10.0f}/s  baseline "
+                f"{baseline_dps:10.0f}/s  ratio {dps_ratio:5.2f}x  "
+                f"(floor {dps_floor:.2f}x)  "
+                f"[{'ok' if dps_ok else 'REGRESSION'}]"
+            )
+        else:
+            print(
+                "service wall-rate floor skipped: committed baseline "
+                "predates deliveries_per_sec_wall"
+            )
     result = {
         "scale": scale.name,
         "repeats": repeats,
@@ -413,14 +492,40 @@ def main(argv: list[str] | None = None) -> int:
         default=1.3,
         help="--quick failure threshold: measured/committed cold-median ratio",
     )
+    parser.add_argument(
+        "--dps-floor",
+        type=float,
+        default=0.77,
+        metavar="RATIO",
+        help="--quick service gate: measured/committed wall-clock"
+        " deliveries-per-sec must stay at or above this ratio"
+        " (mirrors the <= 1.3x wall gates)",
+    )
+    parser.add_argument(
+        "--profile",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="also cProfile the service cell and write the top-20"
+        " cumulative functions here (CI artifact)",
+    )
     args = parser.parse_args(argv)
 
     scale = resolve_scale(args.scale)
     if args.quick:
         return quick_check(
-            scale, args.repeats, args.seed, args.out, args.quick_out, args.tolerance
+            scale,
+            args.repeats,
+            args.seed,
+            args.out,
+            args.quick_out,
+            args.tolerance,
+            dps_floor=args.dps_floor,
+            profile=args.profile,
         )
-    entry = measure(scale, repeats=args.repeats, seed=args.seed)
+    entry = measure(
+        scale, repeats=args.repeats, seed=args.seed, profile=args.profile
+    )
 
     if args.dry_run:
         print(json.dumps(entry, indent=2))

@@ -106,10 +106,20 @@ def _peak_concurrency(events) -> int:
     return peak
 
 
-def run_point(
+def execute_point(
     scale: ExperimentScale, seed: int, point: tuple[int, float]
-) -> dict[str, Any]:
-    """Generate, replay and audit one workload cell."""
+) -> tuple[dict[str, Any], dict[str, float]]:
+    """Generate, replay and audit one workload cell.
+
+    Returns ``(row, timings)``.  The row holds only deterministic
+    metrics — including the schedule-cache attribution from a
+    :func:`repro.perf.scoped` delta around the plane phase, which is
+    replay-exact and therefore identical whether the cell ran serially
+    or inside a ``--jobs N`` worker.  Wall-clock measurements live in
+    ``timings`` so they never leak into diffable experiment output;
+    the benchmark harness reports them separately.
+    """
+    from repro import perf
     from repro.multicast.plane import ServicePlane
     from repro.workloads import generate_service_workload
 
@@ -118,17 +128,20 @@ def run_point(
     workload_seed = point_rng(seed, "extN", groups, churn).randrange(1 << 31)
     workload = generate_service_workload(spec, seed=workload_seed)
 
-    plane = ServicePlane(space_bits=scale.space_bits)
-    for name, kbps in workload.hosts:
-        plane.register_host(name, kbps)
-    plane.replay(workload.events)
-    plane.drain()
-    plane.verify_quiesced()  # completeness + zero gaps + zero dups
+    with perf.scoped() as scope:
+        plane = ServicePlane(space_bits=scale.space_bits)
+        for name, kbps in workload.hosts:
+            plane.register_host(name, kbps)
+        plane.replay(workload.events)
+        plane.drain()
+        plane.verify_quiesced()  # completeness + zero gaps + zero dups
+    delta = scope.delta
 
     report = plane.report()
     counts = workload.counts()
     churn_events = counts.get("join", 0) + counts.get("leave", 0)
-    return {
+    lookups = delta.schedule_cache_hits + delta.schedule_cache_misses
+    row = {
         "groups": groups,
         "churn": churn,
         "peak_concurrent": _peak_concurrency(workload.events),
@@ -141,8 +154,32 @@ def run_point(
         "max_queue_depth": max(
             (row["max_queue_depth"] for row in report.rows), default=0
         ),
+        "sched_cache": {
+            "hits": delta.schedule_cache_hits,
+            "misses": delta.schedule_cache_misses,
+            "invalidations": delta.schedule_cache_invalidations,
+            "wavefront_commits": delta.wavefront_commits,
+            "hit_rate": (
+                round(delta.schedule_cache_hits / lookups, 4)
+                if lookups
+                else 0.0
+            ),
+        },
         "audited": True,  # verify_quiesced raised otherwise
     }
+    timings = {
+        "plane_wall_s": report.wall_s,
+        "deliveries_per_sec_wall": report.wall_deliveries_per_sec(),
+    }
+    return row, timings
+
+
+def run_point(
+    scale: ExperimentScale, seed: int, point: tuple[int, float]
+) -> dict[str, Any]:
+    """The sweep-facing face of :func:`execute_point` (row only)."""
+    row, _ = execute_point(scale, seed, point)
+    return row
 
 
 def assemble(
@@ -176,6 +213,15 @@ def assemble(
                 f"{row['deferrals']} uplink deferrals, "
                 f"max queue {row['max_queue_depth']}"
             )
+            cache = row.get("sched_cache")
+            if cache and (cache["hits"] + cache["misses"]):
+                result.notes.append(
+                    f"churn={churn:g} groups={row['groups']} schedule "
+                    f"cache: {cache['hits']}h/{cache['misses']}m "
+                    f"({cache['hit_rate'] * 100:.0f}% hits, "
+                    f"{cache['invalidations']} invalidated) over "
+                    f"{cache['wavefront_commits']} wavefront commits"
+                )
     target = CONCURRENCY_TARGET[scale.name]
     if target is not None:
         churned = [row for row in partials if row["churn"] > 0]

@@ -35,16 +35,36 @@ regime as a deterministic discrete-event system:
 Everything is deterministic: ties on the event queue break by
 insertion order and the plane draws no randomness, so a replayed
 workload produces byte-identical reports.
+
+**Epoch-cached schedules.**  Between two membership events a group's
+overlay is frozen, so every send from one source walks the *same* tree
+with the *same* per-hop serialize/latency terms.  The plane exploits
+that: per (group, membership epoch) it keeps a schedule context, and
+per source inside it a :class:`_SendTemplate` — the frozen adjacency
+with latencies and uplink bandwidths precomputed.  A cached send skips
+the tree extraction entirely, and instead of one engine callback per
+delivery, deliveries sit in a plane-level pending heap that a single
+*wavefront* event drains in batches (:meth:`ServicePlane._pump`),
+falling back to event granularity exactly where a foreign event — a
+membership change, a scheduled send, a bounded ``run(until)`` —
+interleaves.  Uplink reservations, tie-breaking and every float
+expression are replayed identically, so receipts, audits and ``mc.*``
+trace streams are byte-identical to the uncached path (escape hatch:
+``REPRO_NO_SCHED_CACHE=1`` or ``schedule_cache=False``).
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
+from repro import perf
 from repro.multicast.service import MulticastService
-from repro.sim.engine import Future, Simulator
-from repro.sim.transfer import UplinkBudget
+from repro.sim.engine import EventHandle, Future, Simulator
+from repro.sim.transfer import UplinkBudget, delivery_timeline
 from repro.systems import DEFAULT_UNIFORM_FANOUT
 from repro.trace.tracer import TRACER
 
@@ -274,6 +294,124 @@ class _SendState:
         self.remaining = len(host_of) - 1  # everyone but the source
 
 
+class _EpochSchedule:
+    """Everything derivable from one (group, membership epoch).
+
+    Valid exactly while :meth:`MulticastService.membership_epoch` still
+    returns ``epoch`` — join/leave/drop bump the epoch and the plane
+    discards the context (counted as schedule-cache invalidations).
+    The trace lists are shared across sends on purpose: the uncached
+    path rebuilds them with identical contents every send, so reusing
+    one object keeps the emitted JSON byte-identical.
+    """
+
+    __slots__ = (
+        "epoch",
+        "member_names",
+        "name_to_ident",
+        "host_of",
+        "system_name",
+        "space_bits",
+        "trace_members",
+        "trace_capacities",
+        "templates",
+    )
+
+    def __init__(
+        self,
+        epoch: int,
+        member_names: tuple[str, ...],
+        name_to_ident: dict[str, int],
+        host_of: dict[int, str],
+        system_name: str,
+        space_bits: int,
+        trace_members: list[int],
+        trace_capacities: list[list[float]],
+    ) -> None:
+        self.epoch = epoch
+        self.member_names = member_names
+        self.name_to_ident = name_to_ident
+        self.host_of = host_of
+        self.system_name = system_name
+        self.space_bits = space_bits
+        self.trace_members = trace_members
+        self.trace_capacities = trace_capacities
+        self.templates: dict[int, _SendTemplate] = {}
+
+
+class _SendTemplate:
+    """One source's frozen dissemination schedule within an epoch.
+
+    ``children_of`` pairs each child with its precomputed hop latency;
+    ``bandwidth_of`` caches internal nodes' uplink rates (the legacy
+    path re-reads ``service.hosts`` — a dict copy — per forward).  The
+    charges tuple preserves :meth:`children_counts` iteration order so
+    replaying it accumulates the forwarding ledger in the exact float
+    order :meth:`MulticastService.charge_tree` would.
+    """
+
+    __slots__ = (
+        "source_ident",
+        "tree",
+        "messages_sent",
+        "children_of",
+        "bandwidth_of",
+        "depth",
+        "charges",
+        "member_count",
+    )
+
+    def __init__(
+        self,
+        source_ident: int,
+        tree: Any,
+        messages_sent: int,
+        children_of: dict[int, tuple[tuple[int, float], ...]],
+        bandwidth_of: dict[int, float],
+        depth: dict[int, int],
+        charges: tuple[tuple[str, int], ...],
+        member_count: int,
+    ) -> None:
+        self.source_ident = source_ident
+        self.tree = tree
+        self.messages_sent = messages_sent
+        self.children_of = children_of
+        self.bandwidth_of = bandwidth_of
+        self.depth = depth
+        self.charges = charges
+        self.member_count = member_count
+
+
+class _CachedSend:
+    """Per-send progress for a template-driven dissemination."""
+
+    __slots__ = ("receipt", "context", "template", "remaining")
+
+    def __init__(
+        self,
+        receipt: SendReceipt,
+        context: _EpochSchedule,
+        template: _SendTemplate,
+    ) -> None:
+        self.receipt = receipt
+        self.context = context
+        self.template = template
+        self.remaining = template.member_count - 1  # everyone but the source
+
+
+def _forward_steps_from_parent(tree: Any) -> tuple[tuple[int, tuple[int, ...]], ...]:
+    """(parent, children) steps for trees without ``forward_steps``
+    (the legacy dict-based :class:`MulticastResult`), grouped in the
+    same first-delivery order the kernel's flat arrays produce."""
+    children: dict[int, list[int]] = {}
+    for child, parent in tree.parent.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(child)
+    return tuple(
+        (parent, tuple(kids)) for parent, kids in children.items()
+    )
+
+
 @dataclass
 class GroupStats:
     """Per-group counters the plane reports."""
@@ -322,12 +460,27 @@ class PlaneReport:
     rows: tuple[dict[str, Any], ...]
     total_deliveries: int
     total_deferrals: int
+    #: wall-clock seconds the plane spent originating and draining —
+    #: a measurement, not part of the deterministic outcome, so it is
+    #: excluded from report equality (replays compare equal even
+    #: though their wall clocks differ)
+    wall_s: float = field(default=0.0, compare=False)
 
     def deliveries_per_sec(self) -> float:
-        """Aggregate sustained deliveries/sec across every group."""
+        """Aggregate sustained deliveries per *simulated* second —
+        the provisioning-facing rate (how fast the modeled system
+        disseminates)."""
         if self.time <= 0.0:
             return float(self.total_deliveries)
         return self.total_deliveries / self.time
+
+    def wall_deliveries_per_sec(self) -> float:
+        """Deliveries per *wall-clock* second — the harness-facing
+        rate (how fast the simulation itself executes; what the
+        epoch-cached schedule path accelerates)."""
+        if self.wall_s <= 0.0:
+            return 0.0
+        return self.total_deliveries / self.wall_s
 
     def render(self) -> str:
         header = (
@@ -345,7 +498,8 @@ class PlaneReport:
         lines.append(
             f"# t={self.time:.2f}s groups={len(self.rows)} "
             f"deliveries={self.total_deliveries} "
-            f"({self.deliveries_per_sec():.1f}/s) "
+            f"({self.deliveries_per_sec():.1f}/s sim, "
+            f"{self.wall_deliveries_per_sec():.0f}/s wall) "
             f"deferrals={self.total_deferrals}"
         )
         return "\n".join(lines)
@@ -370,6 +524,7 @@ class ServicePlane:
         simulator: Simulator | None = None,
         space_bits: int = 19,
         hop_latency: float | HostLatency = 0.0,
+        schedule_cache: bool | None = None,
     ) -> None:
         self.service = (
             service if service is not None else MulticastService(space_bits)
@@ -386,6 +541,23 @@ class ServicePlane:
         self._active: dict[str, bool] = {}
         self._next_mid = 1
         self._receipts: list[SendReceipt] = []
+        # epoch-cached dissemination schedules (None = honor the
+        # REPRO_NO_SCHED_CACHE escape hatch, the equivalence tests'
+        # lever for running the uncached reference path)
+        self._schedule_cache = (
+            schedule_cache
+            if schedule_cache is not None
+            else not os.environ.get("REPRO_NO_SCHED_CACHE")
+        )
+        self._contexts: dict[str, _EpochSchedule] = {}
+        # pending deliveries: (time, plane seq, state, child, parent) —
+        # the plane seq replays the engine's insertion-order tie-break
+        self._pending: list[tuple[float, int, _CachedSend, int, int]] = []
+        self._pending_seq = 0
+        self._wavefront: EventHandle | None = None
+        self._wavefront_time: float | None = None
+        self._wall_s = 0.0
+        self._wall_depth = 0
 
     # -- membership lifecycle (admissible mid-stream) -------------------
 
@@ -442,6 +614,11 @@ class ServicePlane:
         self._ledgers[group_name].retire_all()
         self._stats[group_name].closed = True
         self._active[group_name] = False
+        context = self._contexts.pop(group_name, None)
+        if context is not None:
+            perf.COUNTERS.schedule_cache_invalidations += len(
+                context.templates
+            )
 
     # -- sending --------------------------------------------------------
 
@@ -450,12 +627,31 @@ class ServicePlane:
     ) -> SendReceipt:
         """Originate one message *now*: freeze membership and tree,
         stamp the next sequence number, and schedule the hops."""
-        if not self._active.get(group_name, False):
-            raise KeyError(f"no group named {group_name!r}")
-        if message_kbits <= 0:
-            raise ValueError(
-                f"message size must be positive, got {message_kbits}"
-            )
+        started = perf_counter()
+        self._wall_depth += 1
+        try:
+            if not self._active.get(group_name, False):
+                raise KeyError(f"no group named {group_name!r}")
+            if message_kbits <= 0:
+                raise ValueError(
+                    f"message size must be positive, got {message_kbits}"
+                )
+            if self._schedule_cache:
+                return self._send_cached(
+                    group_name, source_host, message_kbits
+                )
+            return self._send_uncached(group_name, source_host, message_kbits)
+        finally:
+            self._wall_depth -= 1
+            if self._wall_depth == 0:
+                self._wall_s += perf_counter() - started
+
+    def _send_uncached(
+        self, group_name: str, source_host: str, message_kbits: float
+    ) -> SendReceipt:
+        """The reference path: extract the tree and schedule one engine
+        event per hop.  Byte-for-byte the behavior the epoch cache must
+        reproduce — keep the two in lockstep."""
         group = self.service.group(group_name)
         source_ident = self.service.member_ident(group_name, source_host)
         result = group.multicast_from(group.snapshot.node_at(source_ident))
@@ -595,6 +791,336 @@ class ServicePlane:
             receipt.completion.resolve(receipt)
         self._forward(state, ident)
 
+    # -- epoch-cached schedules -----------------------------------------
+
+    def _send_cached(
+        self, group_name: str, source_host: str, message_kbits: float
+    ) -> SendReceipt:
+        """Originate from a cached (epoch, source) schedule template.
+
+        Mirrors :meth:`_send_uncached` exactly — same accounting order,
+        same trace events, same float expressions — except the tree,
+        adjacency and trace scaffolding come from the cache and the
+        hops go to the plane's pending heap instead of one engine
+        event each.
+        """
+        context = self._epoch_context(group_name)
+        source_ident = context.name_to_ident.get(source_host)
+        if source_ident is None:
+            raise KeyError(
+                f"host {source_host!r} is not a member of {group_name!r}"
+            )
+        template = context.templates.get(source_ident)
+        if template is None:
+            perf.COUNTERS.schedule_cache_misses += 1
+            template = self._build_template(context, group_name, source_ident)
+            context.templates[source_ident] = template
+        else:
+            perf.COUNTERS.schedule_cache_hits += 1
+            if TRACER.enabled:
+                # the uncached path extracts (and trace-summarizes) a
+                # tree on every send; replay the frozen tree's summary
+                # so the traced stream is independent of caching
+                TRACER.emit(
+                    0.0, "mc", "tree",
+                    source=source_ident, edges=template.messages_sent,
+                )
+        forwarded = self.service._forwarded_kbits
+        for name, count in template.charges:
+            forwarded[name] += count * message_kbits
+
+        ledger = self._ledgers[group_name]
+        seq = ledger.issue()
+        mid = self._next_mid
+        self._next_mid += 1
+        stats = self._stats[group_name]
+        stats.sends += 1
+        if stats.first_origin is None:
+            stats.first_origin = self.now
+        receipt = SendReceipt(
+            group=group_name,
+            seq=seq,
+            mid=mid,
+            source=source_host,
+            message_kbits=message_kbits,
+            origin_time=self.now,
+            members=context.member_names,
+        )
+        self._receipts.append(receipt)
+        state = _CachedSend(receipt, context, template)
+        if TRACER.enabled:
+            TRACER.emit(
+                self.now, "mc", "origin",
+                mid=mid, source=source_ident,
+                system=context.system_name,
+                bits=context.space_bits,
+                members=context.trace_members,
+                capacities=context.trace_capacities,
+                group=group_name, seq=seq,
+            )
+            TRACER.emit(
+                self.now, "mc", "deliver",
+                mid=mid, ident=source_ident, depth=0, parent=None,
+                group=group_name, seq=seq,
+            )
+        ledger.record(source_host, seq)
+        if state.remaining == 0:
+            receipt.completion.resolve(receipt)
+        else:
+            self._reserve_children(state, source_ident, self.now)
+            self._arm_wavefront()
+        return receipt
+
+    def _epoch_context(self, group_name: str) -> _EpochSchedule:
+        """The group's schedule context for its *current* epoch,
+        rebuilding (and invalidating stale templates) after any
+        membership change."""
+        epoch = self.service.membership_epoch(group_name)
+        context = self._contexts.get(group_name)
+        if context is not None:
+            if context.epoch == epoch:
+                return context
+            perf.COUNTERS.schedule_cache_invalidations += len(
+                context.templates
+            )
+        group = self.service.group(group_name)
+        members = {
+            name: self.service.member_ident(group_name, name)
+            for name in self.service.members_of(group_name)
+        }
+        host_of = {ident: name for name, ident in members.items()}
+        idents = sorted(host_of)
+        snapshot = group.snapshot
+        context = _EpochSchedule(
+            epoch=epoch,
+            member_names=tuple(members),
+            name_to_ident=members,
+            host_of=host_of,
+            system_name=group.system.name,
+            space_bits=snapshot.space.bits,
+            trace_members=idents,
+            trace_capacities=[
+                [ident, snapshot.node_at(ident).capacity] for ident in idents
+            ],
+        )
+        self._contexts[group_name] = context
+        return context
+
+    def _build_template(
+        self, context: _EpochSchedule, group_name: str, source_ident: int
+    ) -> _SendTemplate:
+        """Extract the source's tree once and freeze its schedule."""
+        group = self.service.group(group_name)
+        tree = group.multicast_from(group.snapshot.node_at(source_ident))
+        host_of = context.host_of
+        bandwidths = self.service.hosts  # one dict copy per template
+        steps = (
+            tree.forward_steps()
+            if hasattr(tree, "forward_steps")
+            else _forward_steps_from_parent(tree)
+        )
+        children_of: dict[int, tuple[tuple[int, float], ...]] = {}
+        bandwidth_of: dict[int, float] = {}
+        for parent, kids in steps:
+            host = host_of[parent]
+            bandwidth_of[parent] = bandwidths[host]
+            children_of[parent] = tuple(
+                (child, self._latency(host, host_of[child])) for child in kids
+            )
+        charges = tuple(
+            (host_of[ident], count)
+            for ident, count in tree.children_counts().items()
+            if count
+        )
+        return _SendTemplate(
+            source_ident=source_ident,
+            tree=tree,
+            messages_sent=tree.messages_sent,
+            children_of=children_of,
+            bandwidth_of=bandwidth_of,
+            depth=dict(tree.depth),
+            charges=charges,
+            member_count=len(host_of),
+        )
+
+    def _reserve_children(
+        self, state: _CachedSend, ident: int, now: float
+    ) -> None:
+        """Template twin of :meth:`_forward`: same reservations in the
+        same order, but arrivals go to the pending heap."""
+        template = state.template
+        kids = template.children_of.get(ident)
+        if not kids:
+            return
+        host = state.context.host_of[ident]
+        serialize = state.receipt.message_kbits / template.bandwidth_of[ident]
+        stats = self._stats[state.receipt.group]
+        reserve = self.budget.reserve
+        pending = self._pending
+        for child, latency in kids:
+            start, done = reserve(host, now, serialize)
+            if start > now:
+                stats.deferrals += 1
+            stats.queue_depth += 1
+            if stats.queue_depth > stats.max_queue_depth:
+                stats.max_queue_depth = stats.queue_depth
+            heappush(
+                pending, (done + latency, self._pending_seq, state, child, ident)
+            )
+            self._pending_seq += 1
+
+    def _arm_wavefront(self) -> None:
+        """Keep exactly one engine event — at the earliest pending
+        delivery — standing in for the whole heap."""
+        pending = self._pending
+        if not pending:
+            self._wavefront = None
+            self._wavefront_time = None
+            return
+        head = pending[0][0]
+        wavefront = self._wavefront
+        if wavefront is not None and not wavefront.cancelled:
+            if self._wavefront_time is not None and self._wavefront_time <= head:
+                return
+            wavefront.cancel()
+        self._wavefront_time = head
+        self._wavefront = self.simulator.call_at(head, self._pump)
+
+    def _pump(self) -> None:
+        """One wavefront: commit pending deliveries in (time, seq)
+        order until a *foreign* engine event (membership change,
+        scheduled send, completion resolution) or the active
+        ``run(until)`` bound must interleave.
+
+        Deliveries at the wavefront's own fire time always commit —
+        any foreign event still queued at that instant was scheduled
+        after this wavefront was armed, hence after the deliveries'
+        uncached counterparts would have entered the queue, so the
+        uncached tie-break runs the deliveries first too.
+        """
+        self._wavefront = None
+        self._wavefront_time = None
+        pending = self._pending
+        engine = self.simulator
+        bound = engine.run_bound
+        now = engine.now
+        committed = False
+        while pending:
+            head = pending[0]
+            time = head[0]
+            if time > bound:
+                break
+            if time > now:
+                # the horizon is re-read every step: a commit can
+                # schedule a completion resolution, which becomes the
+                # next foreign event and caps the batch exactly where
+                # the uncached interleaving would put it
+                horizon = engine.next_event_time()
+                if horizon is not None and time >= horizon:
+                    break
+            heappop(pending)
+            committed = True
+            self._commit(head[2], head[3], head[4], time)
+        if committed:
+            perf.COUNTERS.wavefront_commits += 1
+        self._arm_wavefront()
+
+    def _commit(
+        self, state: _CachedSend, ident: int, parent: int, time: float
+    ) -> None:
+        """Template twin of :meth:`_deliver`, at an explicit time."""
+        receipt = state.receipt
+        host = state.context.host_of[ident]
+        stats = self._stats[receipt.group]
+        stats.queue_depth -= 1
+        verdict = self._ledgers[receipt.group].record(host, receipt.seq)
+        if verdict == "dup":
+            stats.dups += 1
+            if TRACER.enabled:
+                TRACER.emit(
+                    time, "mc", "dup",
+                    mid=receipt.mid, ident=ident, sender=parent,
+                    group=receipt.group, seq=receipt.seq,
+                )
+            return
+        stats.deliveries += 1
+        stats.delivered_kbits += receipt.message_kbits
+        stats.last_delivery = time
+        receipt.delivered[host] = time
+        if TRACER.enabled:
+            TRACER.emit(
+                time, "mc", "deliver",
+                mid=receipt.mid, ident=ident,
+                depth=state.template.depth.get(ident, 0), parent=parent,
+                group=receipt.group, seq=receipt.seq,
+            )
+        state.remaining -= 1
+        if state.remaining == 0:
+            # resolve through the engine (not inline) so the clock
+            # advances to the final delivery and waiters wake at the
+            # same instant the uncached event-per-delivery path wakes
+            # them
+            self.simulator.call_at(
+                time, lambda r=receipt: r.completion.resolve(r)
+            )
+        self._reserve_children(state, ident, time)
+
+    def schedule_preview(
+        self, group_name: str, source_host: str, message_kbits: float = 1.0
+    ) -> dict[str, float]:
+        """The relative delivery timeline an *uncontended* send from
+        ``source_host`` would follow: host name -> seconds after
+        origination (the source maps to 0.0).
+
+        Derived from the cached template's frozen tree via
+        :func:`repro.sim.transfer.delivery_timeline` against a fresh
+        uplink budget — the shared ledger is deliberately untouched, so
+        previewing never perturbs the plane.  With live traffic the
+        actual send defers behind whatever the shared uplinks are
+        already serializing; the preview is the lower envelope.
+        """
+        if not self._active.get(group_name, False):
+            raise KeyError(f"no group named {group_name!r}")
+        if message_kbits <= 0:
+            raise ValueError(
+                f"message size must be positive, got {message_kbits}"
+            )
+        group = self.service.group(group_name)
+        if self._schedule_cache:
+            context = self._epoch_context(group_name)
+            source_ident = context.name_to_ident.get(source_host)
+            if source_ident is None:
+                raise KeyError(
+                    f"host {source_host!r} is not a member of {group_name!r}"
+                )
+            template = context.templates.get(source_ident)
+            if template is None:
+                perf.COUNTERS.schedule_cache_misses += 1
+                template = self._build_template(
+                    context, group_name, source_ident
+                )
+                context.templates[source_ident] = template
+            else:
+                perf.COUNTERS.schedule_cache_hits += 1
+            tree = template.tree
+            host_of = context.host_of
+        else:
+            source_ident = self.service.member_ident(group_name, source_host)
+            tree = group.multicast_from(group.snapshot.node_at(source_ident))
+            host_of = {
+                self.service.member_ident(group_name, name): name
+                for name in self.service.members_of(group_name)
+            }
+        timeline = delivery_timeline(
+            tree,
+            group.snapshot,
+            message_kbits,
+            hop_latency=lambda a, b: self._latency(host_of[a], host_of[b]),
+            budget=UplinkBudget(),
+            host_key=lambda ident: host_of[ident],
+        )
+        return {host_of[ident]: when for ident, when in timeline.items()}
+
     # -- workload replay ------------------------------------------------
 
     def replay(self, events: "Sequence[ServiceEvent]") -> None:
@@ -633,11 +1159,25 @@ class ServicePlane:
 
     def run(self, until: float) -> None:
         """Advance the clock to ``until``."""
-        self.simulator.run(until)
+        started = perf_counter()
+        self._wall_depth += 1
+        try:
+            self.simulator.run(until)
+        finally:
+            self._wall_depth -= 1
+            if self._wall_depth == 0:
+                self._wall_s += perf_counter() - started
 
     def drain(self, max_events: int | None = None) -> None:
         """Run until every scheduled hop has landed."""
-        self.simulator.run_until_idle(max_events)
+        started = perf_counter()
+        self._wall_depth += 1
+        try:
+            self.simulator.run_until_idle(max_events)
+        finally:
+            self._wall_depth -= 1
+            if self._wall_depth == 0:
+                self._wall_s += perf_counter() - started
 
     def receipts(self) -> tuple[SendReceipt, ...]:
         """Every send originated so far, in origination order."""
@@ -708,4 +1248,5 @@ class ServicePlane:
             rows=tuple(rows),
             total_deliveries=total_deliveries,
             total_deferrals=total_deferrals,
+            wall_s=self._wall_s,
         )

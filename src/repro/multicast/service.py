@@ -57,6 +57,8 @@ class MulticastService:
         self._members: dict[str, dict[str, int]] = {}
         self._configs: dict[str, GroupConfig] = {}
         self._forwarded_kbits: dict[str, float] = {}
+        self._epoch_serial = 0
+        self._epochs: dict[str, int] = {}
 
     # -- host management -----------------------------------------------------
 
@@ -109,6 +111,11 @@ class MulticastService:
         )
         self._groups[group_name] = group
         self._members[group_name] = by_name
+        # every overlay (re)build opens a new membership epoch; the
+        # serial is service-global so a dropped-and-recreated group
+        # name can never alias a stale epoch
+        self._epoch_serial += 1
+        self._epochs[group_name] = self._epoch_serial
         return group
 
     def create_group(
@@ -197,6 +204,7 @@ class MulticastService:
         del self._groups[group_name]
         del self._members[group_name]
         del self._configs[group_name]
+        del self._epochs[group_name]
 
     def group(self, group_name: str) -> MulticastGroup:
         """Fetch a group's overlay."""
@@ -208,6 +216,20 @@ class MulticastService:
     def _membership(self, group_name: str) -> dict[str, int]:
         try:
             return self._members[group_name]
+        except KeyError:
+            raise KeyError(f"no group named {group_name!r}") from None
+
+    def membership_epoch(self, group_name: str) -> int:
+        """The group's current membership epoch.
+
+        Strictly increases on every overlay rebuild — create, join and
+        leave all bump it — so *frozen membership between epochs* is a
+        checkable invariant: any state derived from the group's
+        snapshot (trees, dissemination schedules) is valid exactly as
+        long as the epoch it was derived under is still current.
+        """
+        try:
+            return self._epochs[group_name]
         except KeyError:
             raise KeyError(f"no group named {group_name!r}") from None
 

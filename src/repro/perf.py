@@ -43,6 +43,17 @@ class PerfCounters:
     instead of leaking), and ``array_passes`` fused single-pass metric
     sweeps over the kernel's arrays.
 
+    The ``schedule_cache_*`` / ``wavefront_commits`` counters
+    instrument the service plane's epoch-cached dissemination
+    schedules (:mod:`repro.multicast.plane`): ``schedule_cache_hits``
+    sends served by a cached (group, membership-epoch, source)
+    schedule template, ``schedule_cache_misses`` templates built,
+    ``schedule_cache_invalidations`` templates discarded because the
+    group's membership epoch moved on (join/leave/drop rebuilt the
+    overlay), and ``wavefront_commits`` batched wavefront events
+    executed — each one commits a contiguous run of deliveries that
+    the uncached plane would have run as individual engine events.
+
     The ``shm_*`` counters track shared-memory membership buffers
     (:mod:`repro.membership`): segments created/unlinked by the parent
     (``shm_creates`` / ``shm_detaches``), zero-copy attaches performed
@@ -61,6 +72,10 @@ class PerfCounters:
     kernel_resolves_saved: int = 0
     kernel_state_evictions: int = 0
     array_passes: int = 0
+    schedule_cache_hits: int = 0
+    schedule_cache_misses: int = 0
+    schedule_cache_invalidations: int = 0
+    wavefront_commits: int = 0
     group_cache_hits: int = 0
     group_cache_misses: int = 0
     draw_cache_hits: int = 0
@@ -95,7 +110,10 @@ class PerfCounters:
             f"saved {self.kernel_resolves_saved} passes {self.array_passes} "
             f"evict {self.kernel_state_evictions}] "
             f"cache[group {self.group_cache_hits}h/{self.group_cache_misses}m "
-            f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m] "
+            f"draw {self.draw_cache_hits}h/{self.draw_cache_misses}m "
+            f"sched {self.schedule_cache_hits}h/{self.schedule_cache_misses}m/"
+            f"{self.schedule_cache_invalidations}i] "
+            f"wavefronts={self.wavefront_commits} "
             f"shm[{self.shm_creates}c/{self.shm_attaches}a/"
             f"{self.shm_detaches}d/{self.shm_fallbacks}f]"
         )

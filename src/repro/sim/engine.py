@@ -188,6 +188,7 @@ class Simulator:
         self._now = 0.0
         self._processed = 0
         self._next_pid = 1
+        self._run_bound = float("inf")
 
     @property
     def now(self) -> float:
@@ -198,6 +199,27 @@ class Simulator:
     def events_processed(self) -> int:
         """Total events executed so far (diagnostics)."""
         return self._processed
+
+    @property
+    def run_bound(self) -> float:
+        """The time limit of the active :meth:`run` call (``inf`` when
+        draining or idle).  Batch schedulers — the service plane's
+        wavefront commits — cap their look-ahead here so a bounded
+        ``run(until)`` observes exactly the state an event-per-delivery
+        execution would have produced at ``until``."""
+        return self._run_bound
+
+    def next_event_time(self) -> float | None:
+        """The timestamp of the earliest live event (None when idle).
+
+        Cancelled events are lazily discarded from the head of the
+        queue, so the peek is amortized O(1) and keeps the heap from
+        accumulating dead entries.
+        """
+        queue = self._queue
+        while queue and queue[0].cancelled:
+            heapq.heappop(queue)
+        return queue[0].time if queue else None
 
     def call_later(self, delay: float, action: Callable[[], None]) -> EventHandle:
         """Schedule ``action()`` at ``now + delay``."""
@@ -292,9 +314,14 @@ class Simulator:
 
     def run(self, until: float) -> None:
         """Execute events up to and including time ``until``."""
-        while self._queue and self._queue[0].time <= until:
-            self._pop_and_run()
-        self._now = max(self._now, until)
+        previous = self._run_bound
+        self._run_bound = until
+        try:
+            while self._queue and self._queue[0].time <= until:
+                self._pop_and_run()
+            self._now = max(self._now, until)
+        finally:
+            self._run_bound = previous
 
     def run_until_idle(self, max_events: int | None = None) -> None:
         """Execute events until the queue drains (or the budget is hit)."""

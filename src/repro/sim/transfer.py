@@ -197,6 +197,24 @@ def simulate_tree_transfer(
                 "per-node bandwidths"
             )
         parent_arrivals = arrival[parent]
+        if budget is not None and packet_count == 1:
+            # single-packet fast path: message-granularity store-and-
+            # forward (the service plane's model) needs no per-packet
+            # lists — one reservation per child, same float expressions
+            # as the general loop below (packet_kbits == message_kbits
+            # exactly when packet_count is 1), so the two paths are
+            # byte-identical
+            serialize = packet_kbits / node.bandwidth_kbps
+            host = key(parent)
+            when = parent_arrivals[0]
+            for child in kids:
+                _, done = budget.reserve(host, when, serialize)
+                landed = done + latency(parent, child)
+                arrival[child] = [landed]
+                completion[child] = landed
+                first[child] = landed
+                queue.append(child)
+            continue
         if budget is not None:
             # shared-uplink model: whole uplink per transmission, FIFO
             # through the host's cross-group ledger, packet-major so
@@ -237,6 +255,47 @@ def simulate_tree_transfer(
         completion_time=completion,
         first_packet_time=first,
     )
+
+
+def delivery_timeline(
+    tree: MulticastResult,
+    snapshot: RingSnapshot,
+    message_kbits: float,
+    hop_latency: HopLatency | None = None,
+    budget: UplinkBudget | None = None,
+    start_time: float = 0.0,
+    host_key: Callable[[int], Hashable] | None = None,
+) -> dict[int, float]:
+    """Per-member delivery times for one message-granularity transfer.
+
+    The service plane's dissemination model — store-and-forward at
+    message granularity over a shared uplink ledger — is exactly the
+    ``packet_count=1`` case of :func:`simulate_tree_transfer`.  This
+    wrapper runs it in one pass and returns ``ident -> absolute
+    delivery time`` (the source maps to ``start_time``).
+
+    Against a **fresh** budget the result is the send's *uncontended
+    schedule*: within one tree every host forwards from a single
+    parent position, so its reservations are self-contained and the
+    times are byte-identical to what the event-driven plane commits
+    for an isolated send — which is what makes the timeline usable as
+    a schedule preview (``ServicePlane.schedule_preview``) and as the
+    oracle the epoch-cache equivalence tests compare against.  With a
+    shared, pre-loaded budget the timeline instead shows how the send
+    would defer behind traffic already serialized on those uplinks.
+    """
+    shared = budget if budget is not None else UplinkBudget()
+    result = simulate_tree_transfer(
+        tree,
+        snapshot,
+        message_kbits,
+        packet_count=1,
+        hop_latency=hop_latency,
+        budget=shared,
+        start_time=start_time,
+        host_key=host_key,
+    )
+    return dict(result.completion_time)
 
 
 def analytic_bottleneck_kbps(tree: MulticastResult, snapshot: RingSnapshot) -> float:

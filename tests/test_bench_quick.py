@@ -43,16 +43,26 @@ def trajectory(tmp_path):
     return path
 
 
-def run_quick(monkeypatch, tmp_path, trajectory, timings, service_wall=1.0):
+def run_quick(
+    monkeypatch,
+    tmp_path,
+    trajectory,
+    timings,
+    service_wall=1.0,
+    service_dps=30000.0,
+    service_plane_wall=0.05,
+):
     monkeypatch.setattr(
         bench_core, "time_figure", lambda name, scale, seed=0: timings[name]
     )
     monkeypatch.setattr(
         bench_core,
         "measure_service",
-        lambda scale, seed=0: {
+        lambda scale, seed=0, profile=None: {
             "wall_s": service_wall,
             "deliveries_per_sec": 25.0,
+            "deliveries_per_sec_wall": service_dps,
+            "plane_wall_s": service_plane_wall,
         },
     )
     result_path = tmp_path / "bench_quick.json"
@@ -154,6 +164,64 @@ def test_quick_gates_service_throughput(monkeypatch, tmp_path, trajectory):
     assert result["passed"] is False
     assert result["service"]["ok"] is False
     assert result["service"]["baseline_wall_s"] == 1.0
+
+
+def _with_wall_rate_baseline(trajectory, dps=30000.0, plane_wall=0.05):
+    entry = json.loads(trajectory.read_text())
+    entry["entries"][-1]["service"]["deliveries_per_sec_wall"] = dps
+    entry["entries"][-1]["service"]["plane_wall_s"] = plane_wall
+    trajectory.write_text(json.dumps(entry))
+
+
+def test_quick_gates_service_wall_rate_floor(monkeypatch, tmp_path, trajectory):
+    """With a wall-rate baseline committed, a cell delivering below
+    0.77x of it — and slower by more than the noise floor — fails."""
+    _with_wall_rate_baseline(trajectory)
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
+        service_dps=30000.0 * 0.5,
+        service_plane_wall=0.05 + bench_core.NOISE_FLOOR_S + 0.1,
+    )
+    assert code == 1
+    assert result["passed"] is False
+    assert result["service"]["dps_ok"] is False
+    assert result["service"]["dps_floor"] == 0.77
+
+
+def test_quick_wall_rate_floor_forgives_sub_noise_slowdowns(
+    monkeypatch, tmp_path, trajectory
+):
+    """A low ratio on a cell whose absolute slowdown is within the
+    noise floor passes — tiny cells jitter past any ratio."""
+    _with_wall_rate_baseline(trajectory)
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
+        service_dps=30000.0 * 0.5,
+        service_plane_wall=0.06,  # 10ms over baseline: noise
+    )
+    assert code == 0
+    assert result["service"]["dps_ok"] is True
+
+
+def test_quick_skips_wall_rate_floor_on_stale_baseline(
+    monkeypatch, tmp_path, trajectory
+):
+    """The fixture baseline predates deliveries_per_sec_wall, so only
+    the wall-time gate runs — no dps fields in the result."""
+    code, result = run_quick(
+        monkeypatch,
+        tmp_path,
+        trajectory,
+        {"fig6": 1.2, "fig8": 2.1, "extL": 0.5, "extN": 0.5},
+    )
+    assert code == 0
+    assert "dps_ok" not in result["service"]
 
 
 def test_quick_skips_service_missing_from_baseline(

@@ -1,0 +1,376 @@
+"""Epoch-cached dissemination schedules: byte-identity and invalidation.
+
+The service plane's schedule cache is pure mechanism — it must change
+*nothing* observable.  These tests pin that down three ways:
+
+* **Equivalence.**  The full extN quick matrix runs twice, cache on
+  and cache off (``REPRO_NO_SCHED_CACHE=1``), and receipts, sequence
+  audits, ``mc.*`` trace JSONL and the plane report must be
+  byte-identical — including contended-uplink scenarios where the
+  wavefront's reservations interleave with backpressure.
+* **Invalidation.**  A Hypothesis-driven op sequence checks the
+  membership-epoch contract: every join/leave/create bumps the epoch,
+  no send ever delivers through a stale tree to a departed member,
+  and a leave-then-rejoin opens a fresh ledger stint.
+* **Attribution.**  The ``schedule_cache_*`` / ``wavefront_commits``
+  counters, the extN per-cell cache stats, and the schedule preview.
+"""
+
+from __future__ import annotations
+
+import json
+from random import Random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import perf
+from repro.experiments.common import SCALES, point_rng
+from repro.experiments.ext_service import _workload_spec, run_point
+from repro.multicast.plane import ServicePlane
+from repro.sim.transfer import UplinkBudget, delivery_timeline
+from repro.trace.tracer import TRACER
+
+
+def make_plane(
+    hosts: int = 20,
+    kbps: float = 400.0,
+    space_bits: int = 14,
+    schedule_cache: bool | None = None,
+    hop_latency: float = 0.0,
+) -> ServicePlane:
+    plane = ServicePlane(
+        space_bits=space_bits,
+        schedule_cache=schedule_cache,
+        hop_latency=hop_latency,
+    )
+    for index in range(hosts):
+        plane.register_host(f"h{index}", kbps)
+    return plane
+
+
+def observe(plane: ServicePlane, trace: str | None = None):
+    """Everything the cache must not change, in comparison form.
+
+    ``delivered`` is compared as an ordered item tuple on purpose:
+    insertion order is commit order, so even the *sequence* in which
+    members received must match the uncached interleaving.
+    """
+    receipts = tuple(
+        (
+            r.group,
+            r.seq,
+            r.mid,
+            r.source,
+            r.message_kbits,
+            r.origin_time,
+            r.members,
+            tuple(r.delivered.items()),
+            r.complete,
+        )
+        for r in plane.receipts()
+    )
+    audit = plane.audit()
+    return (
+        receipts,
+        (audit.gaps, audit.dups, audit.unexpected),
+        trace,
+        plane.report(),
+        plane.service.host_load_kbits(),
+        plane.budget.deferrals(),
+    )
+
+
+def run_extn_cell(point, cache: bool, scale=SCALES["quick"], seed: int = 0):
+    """One extN cell end to end, returning the observable tuple."""
+    from repro.workloads import generate_service_workload
+
+    groups, churn = point
+    spec = _workload_spec(scale, groups, churn)
+    workload_seed = point_rng(seed, "extN", groups, churn).randrange(1 << 31)
+    workload = generate_service_workload(spec, seed=workload_seed)
+    plane = ServicePlane(space_bits=scale.space_bits, schedule_cache=cache)
+    for name, kbps in workload.hosts:
+        plane.register_host(name, kbps)
+    TRACER.enable()
+    try:
+        plane.replay(workload.events)
+        plane.drain()
+        trace = "\n".join(
+            json.dumps(event.to_json_dict()) for event in TRACER.events()
+        )
+    finally:
+        TRACER.disable()
+        TRACER.clear()
+    plane.verify_quiesced()
+    return observe(plane, trace)
+
+
+class TestCachedUncachedEquivalence:
+    def test_extn_quick_matrix_is_byte_identical(self):
+        # the full quick matrix: group counts x churn rates, including
+        # churned cells where epochs move mid-dissemination
+        scale = SCALES["quick"]
+        from repro.experiments.ext_service import sweep
+
+        for point in sweep(scale):
+            cached = run_extn_cell(point, cache=True, scale=scale)
+            uncached = run_extn_cell(point, cache=False, scale=scale)
+            assert cached == uncached, f"divergence at extN cell {point}"
+
+    def test_env_escape_hatch_selects_uncached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SCHED_CACHE", "1")
+        plane = ServicePlane(space_bits=14)
+        assert plane._schedule_cache is False
+        monkeypatch.delenv("REPRO_NO_SCHED_CACHE")
+        assert ServicePlane(space_bits=14)._schedule_cache is True
+
+    def test_contended_uplink_fallback_is_byte_identical(self):
+        # one slow host shared by every group: the budget saturates,
+        # deliveries defer, and the wavefront must interleave with the
+        # backpressure exactly as the event-per-delivery path does
+        def contended(cache: bool):
+            plane = ServicePlane(space_bits=14, schedule_cache=cache)
+            plane.register_host("slow", 10.0)  # 10 kbps uplink
+            for index in range(12):
+                plane.register_host(f"h{index}", 400.0)
+            rng = Random(7)
+            for g in range(4):
+                members = ["slow"] + [f"h{i}" for i in range(g, g + 6)]
+                plane.create_group(f"g{g}", members)
+            TRACER.enable()
+            try:
+                for step in range(25):
+                    group = f"g{rng.randrange(4)}"
+                    source = rng.choice(
+                        plane.service.members_of(group)
+                    )
+                    plane.send_later(step * 0.2, group, source, 16.0)
+                plane.drain()
+                trace = "\n".join(
+                    json.dumps(e.to_json_dict()) for e in TRACER.events()
+                )
+            finally:
+                TRACER.disable()
+                TRACER.clear()
+            plane.verify_quiesced()
+            return observe(plane, trace)
+
+        cached = contended(True)
+        uncached = contended(False)
+        assert cached == uncached
+        assert cached[5] > 0  # the scenario genuinely backpressured
+
+    def test_bounded_run_interleaves_identically(self):
+        # run(until) bounds the wavefront's look-ahead: mid-run state
+        # must match the event-per-delivery execution at every cut
+        def stepped(cache: bool):
+            plane = make_plane(hosts=16, schedule_cache=cache)
+            plane.create_group("g", [f"h{i}" for i in range(10)])
+            states = []
+            plane.send("g", "h0", 40.0)
+            for until in (0.02, 0.05, 0.011, 0.3, 2.0):
+                plane.run(plane.now + until)
+                states.append(observe(plane))
+                plane.send("g", "h1", 24.0)
+            plane.drain()
+            plane.verify_quiesced()
+            states.append(observe(plane))
+            return states
+
+        assert stepped(True) == stepped(False)
+
+
+class TestEpochInvalidation:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2**31 - 1), min_size=1, max_size=40))
+    def test_membership_ops_bump_epoch_and_freeze_membership(self, codes):
+        plane = make_plane(hosts=8)
+        pool = [f"h{i}" for i in range(8)]
+        members = ["h0", "h1", "h2"]
+        plane.create_group("g", list(members))
+        service = plane.service
+        epoch = service.membership_epoch("g")
+        admissions = {name: 1 for name in members}
+        for code in codes:
+            op = code % 3
+            if op == 0:  # join (falls through to send when full)
+                candidates = [name for name in pool if name not in members]
+                if candidates:
+                    joiner = candidates[(code // 3) % len(candidates)]
+                    plane.join("g", joiner)
+                    members.append(joiner)
+                    admissions[joiner] = admissions.get(joiner, 0) + 1
+                    bumped = service.membership_epoch("g")
+                    assert bumped > epoch, "join must open a new epoch"
+                    epoch = bumped
+                    continue
+                op = 2
+            if op == 1:  # leave (keeps at least one member)
+                if len(members) > 1:
+                    leaver = members[(code // 3) % len(members)]
+                    plane.leave("g", leaver)
+                    members.remove(leaver)
+                    bumped = service.membership_epoch("g")
+                    assert bumped > epoch, "leave must open a new epoch"
+                    epoch = bumped
+                    continue
+                op = 2
+            if op == 2:  # send: frozen membership == current members
+                source = members[(code // 3) % len(members)]
+                receipt = plane.send("g", source, 4.0)
+                assert set(receipt.members) == set(members), (
+                    "a send must freeze exactly the current epoch's "
+                    "membership — never a stale tree's"
+                )
+                assert service.membership_epoch("g") == epoch, (
+                    "sends must not bump the epoch"
+                )
+        plane.drain()
+        plane.verify_quiesced()  # leavers still complete in-flight sends
+        for receipt in plane.receipts():
+            assert set(receipt.delivered) == set(receipt.members), (
+                "deliveries must cover the frozen membership exactly: "
+                "no departed member may receive through a stale tree"
+            )
+        ledger = plane._ledgers["g"]
+        for name, stints in ledger._cursors.items():
+            assert len(stints) == admissions[name], (
+                f"{name}: every leave-then-rejoin must open a fresh stint"
+            )
+
+    def test_drop_group_invalidates_cached_templates(self):
+        plane = make_plane(schedule_cache=True)
+        plane.create_group("g", ["h0", "h1", "h2", "h3"])
+        with perf.scoped() as scope:
+            plane.send("g", "h0")
+            plane.send("g", "h1")
+            plane.drain()
+            plane.drop_group("g")
+        assert scope.delta.schedule_cache_misses == 2
+        assert scope.delta.schedule_cache_invalidations == 2
+
+
+class TestCounters:
+    def test_hit_miss_accounting(self):
+        plane = make_plane(schedule_cache=True)
+        plane.create_group("g", ["h0", "h1", "h2", "h3"])
+        with perf.scoped() as scope:
+            plane.send("g", "h0")
+            plane.send("g", "h0")  # same (epoch, source): hit
+            plane.send("g", "h1")  # new source: miss
+            plane.drain()
+        delta = scope.delta
+        assert delta.schedule_cache_misses == 2
+        assert delta.schedule_cache_hits == 1
+        assert delta.wavefront_commits >= 1
+
+    def test_membership_change_invalidates(self):
+        plane = make_plane(schedule_cache=True)
+        plane.create_group("g", ["h0", "h1", "h2", "h3"])
+        plane.send("g", "h0")
+        plane.drain()
+        plane.join("g", "h4")
+        with perf.scoped() as scope:
+            plane.send("g", "h0")  # stale epoch: invalidate + rebuild
+            plane.drain()
+        assert scope.delta.schedule_cache_invalidations == 1
+        assert scope.delta.schedule_cache_misses == 1
+        assert scope.delta.schedule_cache_hits == 0
+
+    def test_uncached_plane_touches_no_cache_counters(self):
+        plane = make_plane(schedule_cache=False)
+        plane.create_group("g", ["h0", "h1", "h2", "h3"])
+        with perf.scoped() as scope:
+            plane.send("g", "h0")
+            plane.drain()
+        delta = scope.delta
+        assert delta.schedule_cache_hits == 0
+        assert delta.schedule_cache_misses == 0
+        assert delta.wavefront_commits == 0
+
+
+class TestSchedulePreview:
+    def test_preview_matches_uncontended_send(self):
+        plane = make_plane(hosts=12, hop_latency=0.005)
+        plane.create_group("g", [f"h{i}" for i in range(10)])
+        preview = plane.schedule_preview("g", "h0", message_kbits=8.0)
+        receipt = plane.send("g", "h0", message_kbits=8.0)  # at t=0
+        plane.drain()
+        assert receipt.delivered == preview, (
+            "an isolated send at t=0 must land exactly on the preview"
+        )
+
+    def test_preview_does_not_perturb_the_plane(self):
+        plane = make_plane(hosts=12)
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        free_before = {
+            f"h{i}": plane.budget.free_at(f"h{i}") for i in range(8)
+        }
+        plane.schedule_preview("g", "h0")
+        assert free_before == {
+            f"h{i}": plane.budget.free_at(f"h{i}") for i in range(8)
+        }
+        assert plane.budget.reservations() == 0
+
+    def test_preview_agrees_with_delivery_timeline(self):
+        plane = make_plane(hosts=12)
+        plane.create_group("g", [f"h{i}" for i in range(8)])
+        service = plane.service
+        group = service.group("g")
+        source = service.member_ident("g", "h0")
+        tree = group.multicast_from(group.snapshot.node_at(source))
+        host_of = {
+            service.member_ident("g", name): name
+            for name in service.members_of("g")
+        }
+        timeline = delivery_timeline(
+            tree, group.snapshot, 8.0, budget=UplinkBudget()
+        )
+        preview = plane.schedule_preview("g", "h0", message_kbits=8.0)
+        assert preview == {
+            host_of[ident]: when for ident, when in timeline.items()
+        }
+
+    def test_preview_unknown_group_and_member(self):
+        plane = make_plane()
+        with pytest.raises(KeyError, match="no group"):
+            plane.schedule_preview("nope", "h0")
+        plane.create_group("g", ["h0", "h1"])
+        with pytest.raises(KeyError, match="not a member"):
+            plane.schedule_preview("g", "h9")
+
+
+class TestExperimentAttribution:
+    def test_extn_row_carries_cache_stats(self):
+        row = run_point(SCALES["bench"], 0, (12, 0.0))
+        cache = row["sched_cache"]
+        lookups = cache["hits"] + cache["misses"]
+        # one template lookup per send — no more, no fewer
+        assert lookups == row["sends"]
+        assert cache["misses"] > 0
+        assert cache["wavefront_commits"] > 0
+        assert cache["hit_rate"] == round(cache["hits"] / lookups, 4)
+
+    def test_wall_rate_in_report_and_render(self):
+        plane = make_plane()
+        plane.create_group("g", ["h0", "h1", "h2", "h3"])
+        plane.send("g", "h0")
+        plane.drain()
+        report = plane.report()
+        assert report.wall_s > 0.0
+        assert report.wall_deliveries_per_sec() > 0.0
+        assert "/s wall" in report.render()
+
+    def test_wall_clock_excluded_from_report_equality(self):
+        def once():
+            plane = make_plane()
+            plane.create_group("g", ["h0", "h1", "h2", "h3"])
+            plane.send("g", "h0")
+            plane.drain()
+            return plane.report()
+
+        one, other = once(), once()
+        assert one == other  # wall_s differs but is compare-excluded
+        assert one.wall_s != 0.0
