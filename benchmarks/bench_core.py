@@ -60,6 +60,10 @@ NOISE_FLOOR_S = 0.25
 #: isolated, so each decade's peak RSS is exact)
 SCALE_SWEEP_DECADES = (1_000, 10_000)
 
+#: fault plans per system in the repair-vs-failover comparison section
+#: (seed-deterministic, so successive entries compare the same plans)
+FAILOVER_PLANS_PER_SYSTEM = 4
+
 #: representative figure for the tracing-overhead measurement
 TRACING_FIGURE = "fig9"
 
@@ -269,6 +273,54 @@ def _profile_service(scale, seed: int, point, out_path: Path) -> None:
     print(f"service profile (top-20 cumulative) -> {out_path}")
 
 
+def measure_failover(seed: int = 0) -> dict:
+    """Repair vs precomputed-backup failover gap medians (PR 10).
+
+    Runs a small seed-deterministic comparison campaign — every plan
+    down both resilience paths, quiesced at the same instant — and
+    records the paired affected-member gap percentiles.  The gaps are
+    *simulated* seconds (deterministic given seed and plans), so the
+    trajectory tracks the resilience semantics, while ``wall_s`` tracks
+    what the comparison costs to run.  The headline invariant the quick
+    gate holds: zero oracle failures on either path, and the failover
+    median strictly below the repair median.
+    """
+    from repro.churn.resilience import percentile
+    from repro.faults import generate_campaign, run_comparison_campaign
+    from repro.systems import system_names
+
+    plans = generate_campaign(system_names(), FAILOVER_PLANS_PER_SYSTEM, seed)
+    started = time.perf_counter()
+    result = run_comparison_campaign(plans, jobs=1)
+    wall = time.perf_counter() - started
+    pairs = result.paired_gaps()
+    repair_gaps = [repair for repair, _failover in pairs]
+    failover_gaps = [failover for _repair, failover in pairs]
+    entry = {
+        "plans_per_system": FAILOVER_PLANS_PER_SYSTEM,
+        "plans": result.plans_run,
+        "failures": len(result.failures),
+        "affected_members": len(pairs),
+        # None (not NaN) when no plan orphaned anyone: NaN is not JSON
+        "repair_gap_p50": round(percentile(repair_gaps, 0.50), 4) if pairs else None,
+        "repair_gap_p99": round(percentile(repair_gaps, 0.99), 4) if pairs else None,
+        "failover_gap_p50": (
+            round(percentile(failover_gaps, 0.50), 4) if pairs else None
+        ),
+        "failover_gap_p99": (
+            round(percentile(failover_gaps, 0.99), 4) if pairs else None
+        ),
+        "wall_s": round(wall, 4),
+    }
+    print(
+        f"failover {result.plans_run} plans, {len(result.failures)} failing, "
+        f"{len(pairs)} affected members, gap p50 "
+        f"repair={entry['repair_gap_p50']}s "
+        f"failover={entry['failover_gap_p50']}s, wall {wall:7.3f}s"
+    )
+    return entry
+
+
 def measure_scale_sweep(seed: int = 0) -> list[dict]:
     """Per-decade build/multicast/metrics time + exact peak RSS.
 
@@ -321,6 +373,7 @@ def measure(scale, repeats: int, seed: int = 0, profile: Path | None = None) -> 
     systems = measure_systems(scale, seed)
     scenarios = measure_scenarios(seed)
     service = measure_service(scale, seed, profile=profile)
+    failover = measure_failover(seed)
     scale_sweep = measure_scale_sweep(seed)
     return {
         "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -334,6 +387,7 @@ def measure(scale, repeats: int, seed: int = 0, profile: Path | None = None) -> 
         "systems": systems,
         "scenarios": scenarios,
         "service": service,
+        "failover": failover,
         "scale_sweep": scale_sweep,
         "perf": asdict(counters),
         "peak_rss_mb": perf.peak_rss_mb(),
@@ -444,6 +498,40 @@ def quick_check(
                 "service wall-rate floor skipped: committed baseline "
                 "predates deliveries_per_sec_wall"
             )
+    failover: dict | None = None
+    if "failover" in baseline:
+        # resilience gate: the comparison campaign must stay clean on
+        # both paths, and the precomputed-backup median gap must sit
+        # strictly below the repair median *and* not regress past the
+        # committed entry.  The gaps are simulated seconds — fully
+        # deterministic given the seed — so any drift here is a
+        # semantic change in plans, backups, or timing, never machine
+        # noise.
+        measured = measure_failover(seed)
+        repair_p50 = measured["repair_gap_p50"]
+        failover_p50 = measured["failover_gap_p50"]
+        committed_p50 = baseline["failover"].get("failover_gap_p50")
+        ok = (
+            measured["failures"] == 0
+            and repair_p50 is not None
+            and failover_p50 is not None
+            and failover_p50 < repair_p50
+        )
+        if ok and committed_p50 is not None:
+            ok = failover_p50 <= committed_p50 * tolerance
+        passed = passed and ok
+        failover = {
+            **measured,
+            "baseline_failover_gap_p50": committed_p50,
+            "ok": ok,
+        }
+        print(
+            f"failover gap p50 {failover_p50}s  repair {repair_p50}s  "
+            f"baseline {committed_p50}s  "
+            f"[{'ok' if ok else 'REGRESSION'}]"
+        )
+    else:
+        print("failover not in committed baseline; skipped")
     result = {
         "scale": scale.name,
         "repeats": repeats,
@@ -453,6 +541,7 @@ def quick_check(
         "machine": platform.machine(),
         "figures": figures,
         "service": service,
+        "failover": failover,
         "passed": passed,
     }
     result_path.write_text(json.dumps(result, indent=2) + "\n")

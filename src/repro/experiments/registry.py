@@ -107,6 +107,10 @@ REGISTRY: dict[str, ExperimentInfo] = {
             "extN", "ext_service",
             "service plane: sustained deliveries/sec vs group count x churn",
         ),
+        ExperimentInfo(
+            "extO", "ext_failover",
+            "repair vs precomputed-backup failover: delivery-gap distributions",
+        ),
     )
 }
 

@@ -21,10 +21,16 @@ via ``python -m repro.faults replay``.
 """
 
 from repro.faults.campaign import (
+    FAILOVER_SETTLE,
+    MODES,
     CampaignResult,
+    ComparisonResult,
+    FailoverComparison,
     PlanOutcome,
+    compare_plan,
     generate_campaign,
     run_campaign,
+    run_comparison_campaign,
     run_plan,
 )
 from repro.faults.oracles import ORACLES, Violation
@@ -48,11 +54,16 @@ from repro.faults.shrink import shrink_plan
 
 __all__ = [
     "CampaignResult",
+    "ComparisonResult",
+    "FAILOVER_SETTLE",
+    "FailoverComparison",
     "FaultEvent",
     "FaultPlan",
+    "MODES",
     "ORACLES",
     "PlanOutcome",
     "Violation",
+    "compare_plan",
     "crash_at",
     "flash_churn",
     "generate_campaign",
@@ -64,6 +75,7 @@ __all__ = [
     "message_loss_burst",
     "partition_window",
     "run_campaign",
+    "run_comparison_campaign",
     "run_plan",
     "save_plan",
     "shrink_plan",

@@ -16,6 +16,15 @@
     # minimize a failing scenario by hand
     python -m repro.faults shrink plan.json --out minimal.json
 
+    # run every plan down BOTH resilience paths (quiesce-then-repair
+    # and precomputed-backup failover) under identical seeds and
+    # compare per-member delivery-gap distributions
+    python -m repro.faults campaign --failover --plans 8 --jobs 2
+
+    # replay one scenario on the failover path; --stale-backup builds
+    # the backup from the pre-fault epoch (the oracle must catch it)
+    python -m repro.faults replay plan.json --failover --stale-backup
+
 ``--peer-class module:Class`` substitutes the live peer implementation
 (capacities verbatim) while keeping the named system's oracles — the
 hook the mutation tests use to prove a deliberately broken peer is
@@ -33,6 +42,7 @@ from repro.faults.campaign import (
     _resolve_peer_class,
     generate_campaign,
     run_campaign,
+    run_comparison_campaign,
     run_plan,
 )
 from repro.faults.plan import generate_plan, load_plan, save_plan
@@ -44,6 +54,13 @@ def _print_outcome(outcome) -> None:
     print(outcome.summary())
     for violation in outcome.violations:
         print(f"  {violation}")
+
+
+def _print_comparison(comparison) -> None:
+    for outcome in (comparison.repair, comparison.failover):
+        print(f"[{outcome.mode}] {outcome.summary()}")
+        for violation in outcome.violations:
+            print(f"  {violation}")
 
 
 def _cmd_gen(args: argparse.Namespace) -> int:
@@ -66,6 +83,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         f"({args.plans} x {len(systems)} systems), seed={args.seed}, "
         f"jobs={args.jobs}"
     )
+    if args.failover:
+        return _run_failover_campaign(args, plans)
     result = run_campaign(
         plans,
         jobs=args.jobs,
@@ -101,10 +120,71 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def _run_failover_campaign(args: argparse.Namespace, plans) -> int:
+    """``campaign --failover``: both paths per plan, identical seeds.
+
+    Failing comparisons are shrunk against whichever path failed — the
+    failover runner when the delivery-gap (or any failover-path) oracle
+    fired, the plain repair runner otherwise — so the minimized repro
+    replays with the matching ``replay`` flags.
+    """
+    result = run_comparison_campaign(
+        plans,
+        jobs=args.jobs,
+        peer_ref=args.peer_class,
+        stale_backup=args.stale_backup,
+        progress=None if args.quiet else _print_comparison,
+    )
+    print(result.summary())
+
+    failures = result.failures
+    if failures and args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        peer_class = (
+            _resolve_peer_class(args.peer_class) if args.peer_class else None
+        )
+        for index, comparison in enumerate(failures):
+            if not comparison.failover.passed:
+                def runner(p):
+                    return run_plan(
+                        p,
+                        peer_class=peer_class,
+                        mode="failover",
+                        stale_backup=args.stale_backup,
+                    )
+            else:
+                def runner(p):
+                    return run_plan(p, peer_class=peer_class)
+            minimized, final = shrink_plan(
+                comparison.plan,
+                runner=runner,
+                log=None if args.quiet else print,
+            )
+            path = os.path.join(
+                args.out_dir, f"min-failover-{minimized.system}-{index}.json"
+            )
+            save_plan(
+                minimized,
+                path,
+                extra={
+                    "mode": final.mode,
+                    "violations": [str(v) for v in final.violations],
+                    "original": comparison.plan.to_json_dict(),
+                },
+            )
+            print(f"minimized repro written: {path} ({minimized.describe()})")
+    return 1 if failures else 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     plan = load_plan(args.plan)
     peer_class = _resolve_peer_class(args.peer_class) if args.peer_class else None
-    outcome = run_plan(plan, peer_class=peer_class)
+    outcome = run_plan(
+        plan,
+        peer_class=peer_class,
+        mode="failover" if args.failover else "repair",
+        stale_backup=args.stale_backup,
+    )
     _print_outcome(outcome)
     return 1 if outcome.violations else 0
 
@@ -154,12 +234,32 @@ def build_parser() -> argparse.ArgumentParser:
     camp.add_argument("--jobs", type=int, default=1)
     camp.add_argument("--out-dir", default="", help="where minimized repros go")
     camp.add_argument("--peer-class", default="", help="module:Class override")
+    camp.add_argument(
+        "--failover",
+        action="store_true",
+        help="run every plan down both resilience paths and compare gaps",
+    )
+    camp.add_argument(
+        "--stale-backup",
+        action="store_true",
+        help="build backups from the pre-fault epoch (oracle must object)",
+    )
     camp.add_argument("--quiet", action="store_true")
     camp.set_defaults(func=_cmd_campaign)
 
     replay = sub.add_parser("replay", help="re-run one saved scenario")
     replay.add_argument("plan", help="plan JSON written by save_plan")
     replay.add_argument("--peer-class", default="", help="module:Class override")
+    replay.add_argument(
+        "--failover",
+        action="store_true",
+        help="replay on the precomputed-backup failover path",
+    )
+    replay.add_argument(
+        "--stale-backup",
+        action="store_true",
+        help="build the backup from the pre-fault epoch",
+    )
     replay.set_defaults(func=_cmd_replay)
 
     shrink = sub.add_parser("shrink", help="minimize a failing scenario")

@@ -16,24 +16,42 @@ data, so the pool is a straight ordered map — `--jobs N` output is
 byte-identical to serial, same as the parallel experiment engine
 (:mod:`repro.experiments.parallel`) whose worker-initializer pattern
 this follows.
+
+``mode="failover"`` is the proactive alternative to quiesce-then-
+repair: the cluster is quiesced *right after the last fault event*,
+while the ring is still maximally broken, and the multicast goes out
+immediately.  Orphaned members are switched onto the precomputed
+backup subtrees of :mod:`repro.multicast.backup` and judged by the
+delivery-gap oracle; :func:`compare_plan` runs both paths under the
+same seed (and the same early quiesce point) so their per-member gap
+distributions are directly comparable.
 """
 
 from __future__ import annotations
 
 import importlib
+import statistics
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from random import Random
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
-from repro.churn.resilience import ResilienceReport
+from repro.churn.resilience import ResilienceReport, percentile
 from repro.faults.oracles import (
     Violation,
+    check_failover_multicast,
     check_flood_accounting,
     check_multicast,
     check_ring,
 )
 from repro.faults.plan import MIN_LIVE_MEMBERS, FaultPlan, generate_plan
+from repro.multicast.backup import (
+    FailoverTiming,
+    apply_failover,
+    backup_plan_for_record,
+    delivery_gaps,
+    sorted_gap_items,
+)
 from repro.systems import MemberSpec, get_system
 from repro.trace.causal import MulticastRecord, reconstruct
 from repro.trace.tracer import TRACER
@@ -47,6 +65,16 @@ if TYPE_CHECKING:
 #: convergence oracle gives up.  Generous on purpose: convergence
 #: failures should mean "repair is broken", not "repair is slow".
 MAX_REPAIR_ROUNDS = 400
+
+#: Seconds after the last scheduled fault event at which failover mode
+#: quiesces the network and multicasts.  Long enough for the final
+#: event to apply and its datagrams to settle, far shorter than a
+#: stabilization interval — the ring is still broken at send time,
+#: which is the scenario backup trees exist for.
+FAILOVER_SETTLE = 0.25
+
+#: Execution modes of :func:`run_plan`.
+MODES = ("repair", "failover")
 
 
 @dataclass(frozen=True)
@@ -63,6 +91,20 @@ class PlanOutcome:
     delivery_ratios: tuple[float, ...] = ()
     duplicates_per_message: tuple[int, ...] = ()
     final_membership: int = 0
+    #: Which path produced the outcome ("repair" or "failover").
+    mode: str = "repair"
+    #: Per multicast, sorted ``(member, gap)`` pairs: seconds from
+    #: ``mc.origin`` to eventual delivery.  Repair-mode gaps are charged
+    #: the stabilization wait (:attr:`repair_wait`) the message spent
+    #: queued before the ring was trusted again; failover-mode gaps are
+    #: primary delivery times plus the structural backup recovery times.
+    member_gaps: tuple[tuple[tuple[int, float], ...], ...] = ()
+    #: Per multicast, the members the installed backup re-fed (empty in
+    #: repair mode) — the "affected set" gap comparisons pair on.
+    recovered: tuple[tuple[int, ...], ...] = ()
+    #: Seconds the repair path waited in the post-quiesce convergence
+    #: loop before its first multicast (0.0 in failover mode).
+    repair_wait: float = 0.0
 
     @property
     def passed(self) -> bool:
@@ -73,6 +115,10 @@ class PlanOutcome:
         """True when the multicast phase ran (bootstrap + repair ok)."""
         return bool(self.delivery_ratios)
 
+    def gap_values(self) -> list[float]:
+        """Every recorded per-member gap duration, across multicasts."""
+        return [gap for pairs in self.member_gaps for _ident, gap in pairs]
+
     def report(self) -> ResilienceReport:
         """The outcome as the churn layer's standard report shape."""
         return ResilienceReport(
@@ -81,6 +127,7 @@ class PlanOutcome:
             delivery_ratios=list(self.delivery_ratios),
             duplicates_per_message=list(self.duplicates_per_message),
             final_membership=self.final_membership,
+            delivery_gaps=self.gap_values(),
         )
 
     def summary(self) -> str:
@@ -131,6 +178,9 @@ def run_plan(
     peer_class: "type[BasePeer] | None" = None,
     member_spec: "MemberSpec | None" = None,
     latency: "LatencyModel | None" = None,
+    mode: str = "repair",
+    settle: float | None = None,
+    stale_backup: bool = False,
 ) -> PlanOutcome:
     """Execute one fault plan end to end and judge it with the oracles.
 
@@ -145,10 +195,34 @@ def run_plan(
     likewise overrides the cluster's default constant-latency network.
     Both hooks leave the plan itself untouched, so determinism still
     derives from frozen values only.
+
+    ``mode`` picks the resilience path.  ``"repair"`` (the default) is
+    the quiesce-then-check flow documented above, unchanged.
+    ``"failover"`` quiesces ``settle`` seconds after the *last* fault
+    event and multicasts straight into the still-broken ring; orphaned
+    members are re-fed over precomputed backup subtrees
+    (:mod:`repro.multicast.backup`) and judged by the delivery-gap
+    oracle, with exactly-once relaxed (see
+    :func:`~repro.faults.oracles.check_failover_multicast`) and the
+    convergence/ring oracles evaluated *after* the measurement so ring
+    hygiene is still asserted.  ``settle`` also applies to repair mode
+    (``None`` keeps the legacy full fault window): :func:`compare_plan`
+    quiesces both paths at the same instant, so the repair path's gap
+    honestly includes the stabilization wait the failover path skips.
+    ``stale_backup`` builds the backup from the *pre-fault* membership
+    epoch — the deliberately wrong plan the mutation tests prove the
+    delivery-gap oracle catches.
     """
     from repro.protocol.cluster import Cluster
 
+    if mode not in MODES:
+        raise ValueError(f"unknown run mode {mode!r}; choose from {MODES}")
     descriptor = get_system(plan.system)
+    if mode == "failover" and not descriptor.backup_capable:
+        raise ValueError(
+            f"system {plan.system!r} is not backup-capable; "
+            f"failover mode needs a structural tree builder"
+        )
     if member_spec is not None:
         if len(member_spec) != plan.size:
             raise ValueError(
@@ -181,44 +255,63 @@ def run_plan(
 
     # -- fault window -----------------------------------------------------
     origin = cluster.simulator.now
+    epoch_members: "list[tuple[int, int]] | None" = None
+    if mode == "failover" and stale_backup:
+        # The deliberately stale epoch: membership as bootstrapped,
+        # before any fault event applied — a backup built here does not
+        # know mid-window joiners and still trusts doomed parents.
+        epoch_members = [
+            (peer.ident, peer.capacity) for peer in cluster.live_peers()
+        ]
     for event in sorted(plan.events, key=lambda e: (e.time, e.action)):
         cluster.simulator.call_at(
             origin + event.time, lambda e=event: _apply_event(cluster, e)
         )
-    cluster.run(plan.fault_window + 2.0)
+    if mode == "failover" or settle is not None:
+        last_event = max((event.time for event in plan.events), default=0.0)
+        pause = settle if settle is not None else FAILOVER_SETTLE
+        cluster.run(last_event + pause)
+    else:
+        cluster.run(plan.fault_window + 2.0)
 
-    # -- quiesce and repair ----------------------------------------------
+    # -- quiesce (and, on the repair path, wait for convergence) ----------
     cluster.clear_fault_injection()
-    converged = False
-    for _ in range(MAX_REPAIR_ROUNDS):
-        if cluster.ring_consistent() and cluster.neighbor_table_accuracy() == 1.0:
-            converged = True
-            break
-        cluster.run(cluster.config.stabilize_interval)
-    if not converged:
-        return PlanOutcome(
-            plan=plan,
-            violations=(
-                Violation(
-                    oracle="convergence",
-                    detail=(
-                        f"ring failed to repair within {MAX_REPAIR_ROUNDS} "
-                        f"stabilization rounds after quiesce "
-                        f"({len(cluster.live_peers())} live peers, "
-                        f"ring_consistent={cluster.ring_consistent()}, "
-                        f"table_accuracy="
-                        f"{cluster.neighbor_table_accuracy():.3f})"
+    repair_wait = 0.0
+    if mode == "repair":
+        quiesce_time = cluster.simulator.now
+        converged = False
+        for _ in range(MAX_REPAIR_ROUNDS):
+            if cluster.ring_consistent() and cluster.neighbor_table_accuracy() == 1.0:
+                converged = True
+                break
+            cluster.run(cluster.config.stabilize_interval)
+        if not converged:
+            return PlanOutcome(
+                plan=plan,
+                violations=(
+                    Violation(
+                        oracle="convergence",
+                        detail=(
+                            f"ring failed to repair within {MAX_REPAIR_ROUNDS} "
+                            f"stabilization rounds after quiesce "
+                            f"({len(cluster.live_peers())} live peers, "
+                            f"ring_consistent={cluster.ring_consistent()}, "
+                            f"table_accuracy="
+                            f"{cluster.neighbor_table_accuracy():.3f})"
+                        ),
                     ),
                 ),
-            ),
-            final_membership=len(cluster.live_peers()),
-        )
+                final_membership=len(cluster.live_peers()),
+            )
+        repair_wait = cluster.simulator.now - quiesce_time
 
     # -- multicast phase under the scoped tracer --------------------------
     violations: list[Violation] = []
     records: list[MulticastRecord] = []
     ratios: list[float] = []
     duplicates: list[int] = []
+    gap_rows: list[tuple[tuple[int, float], ...]] = []
+    recovered_rows: list[tuple[int, ...]] = []
     mc_rng = Random(f"faults-mc:{plan.seed}")
     mark = TRACER.mark()
     was_enabled = TRACER.enabled
@@ -233,7 +326,38 @@ def run_plan(
             records.append(record)
             ratios.append(record.delivery_ratio())
             duplicates.append(len(record.duplicates))
-            violations.extend(check_multicast(record, descriptor, ordinal))
+            if mode == "failover":
+                backup = backup_plan_for_record(
+                    record,
+                    descriptor,
+                    plan.uniform_fanout,
+                    membership=epoch_members,
+                )
+                recovery = apply_failover(
+                    record,
+                    backup,
+                    descriptor,
+                    FailoverTiming(detect_delay=cluster.config.rpc_timeout),
+                )
+                violations.extend(
+                    check_failover_multicast(record, recovery, descriptor, ordinal)
+                )
+                gap_rows.append(sorted_gap_items(delivery_gaps(record, recovery)))
+                recovered_rows.append(
+                    tuple(item.ident for item in recovery.recovered)
+                )
+            else:
+                violations.extend(check_multicast(record, descriptor, ordinal))
+                # The repair path's honest per-member gap charges the
+                # stabilization wait the message spent queued before
+                # the ring was trusted again, on top of in-tree flight.
+                gap_rows.append(
+                    tuple(
+                        (ident, repair_wait + gap)
+                        for ident, gap in sorted_gap_items(delivery_gaps(record))
+                    )
+                )
+                recovered_rows.append(())
         floods_after = cluster.network.stats.delivered_by_kind.get("mc_flood", 0)
     finally:
         if not was_enabled:
@@ -243,6 +367,30 @@ def run_plan(
     violations.extend(
         check_flood_accounting(records, descriptor, floods_after - floods_before)
     )
+    if mode == "failover":
+        # Ring hygiene still holds on the failover path — it is checked
+        # *after* the measurement instead of gating it: the ring must
+        # eventually repair even though the multicast did not wait.
+        converged = False
+        for _ in range(MAX_REPAIR_ROUNDS):
+            if cluster.ring_consistent() and cluster.neighbor_table_accuracy() == 1.0:
+                converged = True
+                break
+            cluster.run(cluster.config.stabilize_interval)
+        if not converged:
+            violations.append(
+                Violation(
+                    oracle="convergence",
+                    detail=(
+                        f"ring failed to repair within {MAX_REPAIR_ROUNDS} "
+                        f"stabilization rounds after the failover "
+                        f"measurement ({len(cluster.live_peers())} live "
+                        f"peers, ring_consistent={cluster.ring_consistent()}, "
+                        f"table_accuracy="
+                        f"{cluster.neighbor_table_accuracy():.3f})"
+                    ),
+                )
+            )
     violations.extend(check_ring(cluster))
 
     return PlanOutcome(
@@ -251,6 +399,10 @@ def run_plan(
         delivery_ratios=tuple(ratios),
         duplicates_per_message=tuple(duplicates),
         final_membership=len(cluster.live_peers()),
+        mode=mode,
+        member_gaps=tuple(gap_rows),
+        recovered=tuple(recovered_rows),
+        repair_wait=repair_wait,
     )
 
 
@@ -286,6 +438,24 @@ class CampaignResult:
         if not measured:
             return None
         return sum(report.mean_delivery_ratio for report in measured) / len(measured)
+
+    def gap_percentiles(self) -> tuple[float, float] | None:
+        """``(p50, p99)`` of per-member delivery gaps over measured
+        runs, or ``None`` when no run recorded any.
+
+        Guarded through :attr:`ResilienceReport.has_gap_measurements`,
+        matching :meth:`mean_delivery`'s NaN convention — a run that
+        never reached the multicast phase must not poison the pool.
+        """
+        gapped = [
+            report
+            for report in (outcome.report() for outcome in self.outcomes)
+            if report.has_gap_measurements
+        ]
+        if not gapped:
+            return None
+        pooled = [gap for report in gapped for gap in report.delivery_gaps]
+        return (percentile(pooled, 0.50), percentile(pooled, 0.99))
 
     def summary(self) -> str:
         mean = self.mean_delivery()
@@ -331,6 +501,162 @@ def run_campaign(
             result.outcomes.append(outcome)
             if progress is not None:
                 progress(outcome)
+    return result
+
+
+# -- repair vs failover comparison --------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailoverComparison:
+    """One plan run down both resilience paths under identical seeds.
+
+    Both outcomes quiesce at the same instant (``last fault event +
+    FAILOVER_SETTLE``), so their per-member gaps differ only in the
+    resilience mechanism: the repair path charges the stabilization
+    wait, the failover path charges detection plus backup hops.
+    """
+
+    plan: FaultPlan
+    repair: PlanOutcome
+    failover: PlanOutcome
+
+    @property
+    def passed(self) -> bool:
+        return self.repair.passed and self.failover.passed
+
+    def paired_gaps(self) -> list[tuple[float, float]]:
+        """``(repair_gap, failover_gap)`` per affected member.
+
+        Paired on ``(multicast ordinal, member)`` over the members the
+        failover path actually recovered — the population the backup
+        trees exist for.  Members both paths delivered primarily would
+        pair trivially and only dilute the comparison.
+        """
+        pairs: list[tuple[float, float]] = []
+        for ordinal, affected in enumerate(self.failover.recovered):
+            if not affected or ordinal >= len(self.repair.member_gaps):
+                continue
+            repair_gaps = dict(self.repair.member_gaps[ordinal])
+            failover_gaps = dict(self.failover.member_gaps[ordinal])
+            for member in affected:
+                if member in repair_gaps and member in failover_gaps:
+                    pairs.append((repair_gaps[member], failover_gaps[member]))
+        return pairs
+
+
+@dataclass
+class ComparisonResult:
+    """Aggregate over one comparison campaign's plan pairs."""
+
+    comparisons: list[FailoverComparison] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[FailoverComparison]:
+        return [item for item in self.comparisons if not item.passed]
+
+    @property
+    def plans_run(self) -> int:
+        return len(self.comparisons)
+
+    def repair_result(self) -> CampaignResult:
+        """The repair-path halves as a plain campaign result."""
+        return CampaignResult(outcomes=[item.repair for item in self.comparisons])
+
+    def failover_result(self) -> CampaignResult:
+        """The failover-path halves as a plain campaign result."""
+        return CampaignResult(outcomes=[item.failover for item in self.comparisons])
+
+    def paired_gaps(self) -> list[tuple[float, float]]:
+        """Every ``(repair_gap, failover_gap)`` pair across all plans."""
+        return [pair for item in self.comparisons for pair in item.paired_gaps()]
+
+    def gap_medians(self) -> tuple[float, float] | None:
+        """``(repair_median, failover_median)`` over the paired affected
+        members, or ``None`` when no plan orphaned anyone — the headline
+        the extO experiment and the bench gate read."""
+        pairs = self.paired_gaps()
+        if not pairs:
+            return None
+        return (
+            statistics.median(repair for repair, _failover in pairs),
+            statistics.median(failover for _repair, failover in pairs),
+        )
+
+    def summary(self) -> str:
+        medians = self.gap_medians()
+        if medians is None:
+            gaps = "no affected members"
+        else:
+            gaps = (
+                f"median gap repair={medians[0]:.3f}s "
+                f"failover={medians[1]:.3f}s"
+            )
+        return f"{self.plans_run} plans, {len(self.failures)} failing, {gaps}"
+
+
+def compare_plan(
+    plan: FaultPlan,
+    peer_class: "type[BasePeer] | None" = None,
+    stale_backup: bool = False,
+) -> FailoverComparison:
+    """Run one plan down the repair and failover paths under one seed.
+
+    Both runs get ``settle=FAILOVER_SETTLE``: quiescing the repair path
+    at the failover path's early quiesce point is what makes the
+    comparison honest — the repair path's gap then includes the
+    stabilization wait its protocol actually imposes on the damage the
+    failover path multicasts straight into.
+    """
+    repair = run_plan(
+        plan, peer_class=peer_class, mode="repair", settle=FAILOVER_SETTLE
+    )
+    failover = run_plan(
+        plan,
+        peer_class=peer_class,
+        mode="failover",
+        settle=FAILOVER_SETTLE,
+        stale_backup=stale_backup,
+    )
+    return FailoverComparison(plan=plan, repair=repair, failover=failover)
+
+
+def _run_comparison_task(
+    task: tuple[FaultPlan, str | None, bool],
+) -> FailoverComparison:
+    """Worker entry point (module-level so the pool can pickle it)."""
+    plan, peer_ref, stale_backup = task
+    peer_class = _resolve_peer_class(peer_ref) if peer_ref else None
+    return compare_plan(plan, peer_class=peer_class, stale_backup=stale_backup)
+
+
+def run_comparison_campaign(
+    plans: Sequence[FaultPlan],
+    jobs: int = 1,
+    peer_ref: str | None = None,
+    stale_backup: bool = False,
+    progress: Callable[[FailoverComparison], None] | None = None,
+) -> ComparisonResult:
+    """Run every plan down both paths, optionally across processes.
+
+    Same ordered-map pooling as :func:`run_campaign`: comparisons come
+    back in plan order, so serial and ``--jobs N`` aggregate
+    byte-identically.
+    """
+    tasks = [(plan, peer_ref, stale_backup) for plan in plans]
+    result = ComparisonResult()
+    if jobs <= 1 or len(tasks) <= 1:
+        for task in tasks:
+            comparison = _run_comparison_task(task)
+            result.comparisons.append(comparison)
+            if progress is not None:
+                progress(comparison)
+        return result
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for comparison in pool.map(_run_comparison_task, tasks, chunksize=1):
+            result.comparisons.append(comparison)
+            if progress is not None:
+                progress(comparison)
     return result
 
 

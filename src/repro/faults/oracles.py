@@ -25,6 +25,7 @@ shrinker and the tests lean on.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -39,6 +40,7 @@ ORACLES = (
     "bootstrap",
     "convergence",
     "delivery",
+    "delivery-gap",
     "duplicates",
     "fanout",
     "ring",
@@ -70,10 +72,7 @@ class Violation:
 
 
 def _format_hop(member: int, hop: Hop) -> str:
-    return (
-        f"member {member}: {hop.sender} -> {hop.receiver} "
-        f"({hop.event}) at t={hop.time:.3f}"
-    )
+    return hop.describe(member)
 
 
 # -- per-multicast oracles ----------------------------------------------------
@@ -178,6 +177,115 @@ def check_multicast(
     """All per-multicast oracles over one causal record."""
     violations = check_delivery(record, ordinal)
     violations.extend(check_duplicates(record, descriptor, ordinal))
+    violations.extend(check_fanout(record, descriptor, ordinal))
+    return violations
+
+
+def check_delivery_gap(
+    record: MulticastRecord,
+    recovery,
+    descriptor: "SystemDescriptor",
+    ordinal: int,
+) -> list[Violation]:
+    """Failover mode's delivery oracle: every eligible member reaches
+    eventual delivery with a finite, positive gap from ``mc.origin``.
+
+    ``recovery`` is the :class:`~repro.multicast.backup.FailoverRecovery`
+    of this multicast.  Three failure shapes:
+
+    * an orphan the installed backup could not reattach (a stale plan
+      that does not know the member, or no candidate with spare
+      fanout) — cited with its causal lost hop;
+    * a recovered gap that is non-finite or does not come strictly
+      after the origin (a broken timing model, not a slow path);
+    * a graft that pushes its backup parent past the descriptor's
+      ``live_fanout_bound`` counting the parent's primary children —
+      the same invariant :func:`check_fanout` holds the primary tree
+      to, re-checked here because grafts add load the record's edges
+      do not show.
+    """
+    violations: list[Violation] = []
+    if recovery.uncovered:
+        hops = lost_hops(record)
+        violations.append(
+            Violation(
+                oracle="delivery-gap",
+                multicast=ordinal,
+                detail=(
+                    f"{len(recovery.uncovered)} of "
+                    f"{len(record.eligible_members)} eligible members have "
+                    f"no eventual delivery: installed backup covers neither "
+                    f"primary nor graft path"
+                ),
+                members=tuple(recovery.uncovered),
+                lost=tuple(
+                    _format_hop(member, hops[member])
+                    for member in recovery.uncovered
+                    if member in hops
+                ),
+            )
+        )
+    bad_gaps = [
+        (item.ident, item.time - record.origin_time)
+        for item in recovery.recovered
+        if not math.isfinite(item.time - record.origin_time)
+        or item.time - record.origin_time <= 0.0
+    ]
+    if bad_gaps:
+        detail = ", ".join(f"{ident}: {gap!r}" for ident, gap in bad_gaps[:5])
+        violations.append(
+            Violation(
+                oracle="delivery-gap",
+                multicast=ordinal,
+                detail=f"{len(bad_gaps)} recovered members with non-causal gaps: {detail}",
+                members=tuple(ident for ident, _ in bad_gaps),
+            )
+        )
+    primary_children: dict[int, int] = {}
+    for parent, _child in record.actual_edges():
+        primary_children[parent] = primary_children.get(parent, 0) + 1
+    offenders = []
+    for parent, graft_count in sorted(recovery.graft_load().items()):
+        capacity = record.capacities.get(parent)
+        if capacity is None:
+            continue
+        total = primary_children.get(parent, 0) + graft_count
+        if total > descriptor.live_fanout_bound(capacity):
+            offenders.append((parent, total, capacity))
+    if offenders:
+        detail = ", ".join(
+            f"backup parent {parent} fed {total} children "
+            f"(capacity {capacity}, bound {descriptor.live_fanout_bound(capacity)})"
+            for parent, total, capacity in offenders
+        )
+        violations.append(
+            Violation(
+                oracle="delivery-gap",
+                multicast=ordinal,
+                detail=detail,
+                members=tuple(parent for parent, _, _ in offenders),
+            )
+        )
+    return violations
+
+
+def check_failover_multicast(
+    record: MulticastRecord,
+    recovery,
+    descriptor: "SystemDescriptor",
+    ordinal: int,
+) -> list[Violation]:
+    """Per-multicast oracles for the failover path.
+
+    The delivery-gap oracle replaces plain delivery (eventual delivery
+    over the installed backup counts); the duplicates oracle is
+    *skipped* because the primary multicast runs into a deliberately
+    unrepaired ring, where stale region handoffs may legitimately
+    overlap — exactly-once is a converged-ring invariant, not a
+    mid-failure one.  Fanout stays: even a broken ring must not let a
+    node feed past its capacity bound.
+    """
+    violations = check_delivery_gap(record, recovery, descriptor, ordinal)
     violations.extend(check_fanout(record, descriptor, ordinal))
     return violations
 

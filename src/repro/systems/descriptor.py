@@ -152,6 +152,13 @@ class SystemDescriptor:
     builds_single_tree: bool
     baseline: SystemKind | None = None
     fanout_slack: int = 0
+    #: Whether :mod:`repro.multicast.backup` can precompute failover
+    #: subtrees for the system — true whenever the flat kernel can
+    #: rebuild the frozen epoch's tree (all four registered systems
+    #: can); a hypothetical system without a structural tree builder
+    #: would register ``False`` and the fault campaign's failover mode
+    #: would refuse it instead of silently measuring nothing.
+    backup_capable: bool = True
 
     @property
     def name(self) -> str:

@@ -181,6 +181,10 @@ register(
         peer_loader=_cam_chord_peer,
         builds_single_tree=True,
         baseline=SystemKind.CHORD,
+        # The flat kernel rebuilds this system's frozen-epoch tree, so
+        # the fault campaign can install precomputed backup subtrees
+        # (repro.multicast.backup) — likewise for the other three.
+        backup_capable=True,
     )
 )
 
@@ -195,6 +199,7 @@ register(
         peer_loader=_cam_koorde_peer,
         builds_single_tree=False,
         baseline=SystemKind.KOORDE,
+        backup_capable=True,
     )
 )
 
@@ -215,6 +220,7 @@ register(
         # finger table (see tests/test_equivalences.py).
         peer_loader=_cam_chord_peer,
         builds_single_tree=True,
+        backup_capable=True,
     )
 )
 
@@ -232,6 +238,7 @@ register(
         # of the uniform de Bruijn window (KoordePeer.flood_links), so
         # the delivery-tree degree bound is capacity + 2.
         fanout_slack=2,
+        backup_capable=True,
     )
 )
 

@@ -49,6 +49,15 @@ class Hop:
     event: str
     time: float = 0.0
 
+    def describe(self, member: int) -> str:
+        """The citation line oracle violations and failover recoveries
+        print for one member's lost hop — defined once, here, so the
+        delivery and delivery-gap oracles cite hops identically."""
+        return (
+            f"member {member}: {self.sender} -> {self.receiver} "
+            f"({self.event}) at t={self.time:.3f}"
+        )
+
 
 @dataclass(frozen=True)
 class SendAttempt:
@@ -328,7 +337,9 @@ def lost_hops(record: MulticastRecord) -> dict[int, Hop]:
             candidates.append(((depth, direct, attempt.seq), attempt))
         best = max(candidates)[1] if candidates else None
         if best is None:
-            hops[member] = Hop(record.source, member, "stalled:no-attempt", record.origin_time)
+            hops[member] = Hop(
+                record.source, member, "stalled:no-attempt", record.origin_time
+            )
         elif best.fate == "delivered" and best.recipient != member:
             hops[member] = Hop(best.recipient, member, "stalled:no-link", best.time)
         elif best.fate == "delivered":

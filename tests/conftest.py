@@ -51,24 +51,28 @@ def random_snapshot(
     return RingSnapshot(IdentifierSpace(bits), nodes)
 
 
-def assert_plan_deterministic(plan, peer_class=None):
+def assert_plan_deterministic(plan, peer_class=None, **run_kwargs):
     """Run one fault plan twice and demand identical outcomes.
 
     The seed-determinism contract of :mod:`repro.faults`: every byte of
     a plan's execution derives from the plan's own fields, so two runs
     in one process (sharing the global message-id counter, the tracer
     and any other process state) still produce the same violation set,
-    delivery ratios and duplicate counts.  Returns the first outcome so
-    callers can go on to assert about its content.
+    delivery ratios and duplicate counts.  ``run_kwargs`` forward to
+    ``run_plan`` (mode/settle/stale_backup — the failover paths hold to
+    the same contract).  Returns the first outcome so callers can go on
+    to assert about its content.
     """
     from repro.faults import run_plan
 
-    first = run_plan(plan, peer_class=peer_class)
-    second = run_plan(plan, peer_class=peer_class)
+    first = run_plan(plan, peer_class=peer_class, **run_kwargs)
+    second = run_plan(plan, peer_class=peer_class, **run_kwargs)
     assert first.violations == second.violations
     assert first.delivery_ratios == second.delivery_ratios
     assert first.duplicates_per_message == second.duplicates_per_message
     assert first.final_membership == second.final_membership
+    assert first.member_gaps == second.member_gaps
+    assert first.recovered == second.recovered
     return first
 
 

@@ -1,0 +1,132 @@
+"""Mutation tests: prove the delivery-gap oracle detects stale backups.
+
+A failover campaign that always passes could be vacuous.  Here the
+mutant is not a broken peer but a **stale backup plan**: built against
+the *pre-fault* membership epoch (``stale_backup=True``), it does not
+know members that joined during the fault window and still trusts
+parents that died — so orphans it cannot reattach must surface as
+delivery-gap violations.  The oracle must catch it, the shrinker must
+minimize the scenario to at most three fault events (empirically a
+single ``join`` — the exact stale-epoch story), the minimized repro
+must replay byte-identically through ``python -m repro.faults replay
+--failover``, and the comparison campaign must aggregate serial ==
+``--jobs 2``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.faults import (
+    generate_plan,
+    run_comparison_campaign,
+    run_plan,
+    save_plan,
+    shrink_plan,
+)
+from repro.faults.__main__ import main as faults_main
+from tests.conftest import assert_plan_deterministic
+
+
+@pytest.fixture(scope="module")
+def failing_plan():
+    """The first generated plan the stale backup fails on — and that a
+    fresh backup passes, pinning the failure on staleness alone."""
+    for system in ("cam-chord", "cam-koorde"):
+        for index in range(6):
+            plan = generate_plan(system, index, campaign_seed=0)
+            stale = run_plan(plan, mode="failover", stale_backup=True)
+            if stale.passed:
+                continue
+            fresh = run_plan(plan, mode="failover")
+            if fresh.passed:
+                return plan, stale
+    pytest.fail(
+        "stale backups survived 12 generated plans — the delivery-gap "
+        "oracle is toothless"
+    )
+
+
+@pytest.fixture(scope="module")
+def minimized_scenario(failing_plan):
+    plan, _stale = failing_plan
+    return shrink_plan(
+        plan, runner=lambda p: run_plan(p, mode="failover", stale_backup=True)
+    )
+
+
+def test_stale_backup_caught_by_delivery_gap_oracle(failing_plan):
+    _plan, stale = failing_plan
+    oracles = {violation.oracle for violation in stale.violations}
+    assert "delivery-gap" in oracles, (
+        f"expected the delivery-gap oracle to fire, got {oracles}"
+    )
+    detail = next(v for v in stale.violations if v.oracle == "delivery-gap")
+    assert detail.members, "a delivery-gap violation must name the members hit"
+    assert stale.mode == "failover"
+
+
+def test_stale_backup_shrinks_to_minimal_scenario(minimized_scenario):
+    minimized, final = minimized_scenario
+    assert len(minimized.events) <= 3
+    assert minimized.multicasts == 1
+    assert any(v.oracle == "delivery-gap" for v in final.violations)
+
+    # the minimized repro replays deterministically on the stale path
+    replayed = assert_plan_deterministic(
+        minimized, mode="failover", stale_backup=True
+    )
+    assert replayed.violations == final.violations
+
+
+def test_replay_cli_failover_round_trip(minimized_scenario, tmp_path, capsys):
+    """``replay --failover --stale-backup`` exits 1 with byte-identical
+    output twice; the fresh backup passes the very same scenario."""
+    minimized, final = minimized_scenario
+    path = tmp_path / "minimal-failover.json"
+    save_plan(
+        minimized,
+        str(path),
+        extra={"violations": [str(v) for v in final.violations]},
+    )
+    with open(path, encoding="utf-8") as handle:
+        assert json.load(handle)["meta"]["violations"]
+
+    argv = ["replay", str(path), "--failover", "--stale-backup"]
+    exit_first = faults_main(argv)
+    out_first = capsys.readouterr().out
+    exit_second = faults_main(argv)
+    out_second = capsys.readouterr().out
+    assert exit_first == exit_second == 1
+    assert out_first == out_second
+    assert "delivery-gap" in out_first
+
+    # a fresh (current-epoch) backup covers the same scenario
+    exit_fresh = faults_main(["replay", str(path), "--failover"])
+    out_fresh = capsys.readouterr().out
+    assert exit_fresh == 0
+    assert "ok" in out_fresh
+
+
+def test_comparison_campaign_serial_matches_parallel():
+    """Serial and ``--jobs 2`` comparison campaigns aggregate
+    byte-identically — the same ordered-map determinism contract as the
+    plain campaign."""
+    plans = [generate_plan("cam-chord", index, campaign_seed=0) for index in range(2)]
+    serial = run_comparison_campaign(plans, jobs=1)
+    parallel = run_comparison_campaign(plans, jobs=2)
+    assert serial.summary() == parallel.summary()
+    assert serial.paired_gaps() == parallel.paired_gaps()
+    for left, right in zip(serial.comparisons, parallel.comparisons):
+        for a, b in ((left.repair, right.repair), (left.failover, right.failover)):
+            assert a.violations == b.violations
+            assert a.member_gaps == b.member_gaps
+            assert a.recovered == b.recovered
+            assert a.repair_wait == b.repair_wait
+    # the headline the extO experiment reads: failover strictly faster
+    medians = serial.gap_medians()
+    assert medians is not None
+    repair_median, failover_median = medians
+    assert failover_median < repair_median

@@ -125,7 +125,7 @@ class TestRunnerCli:
         assert set(EXPERIMENTS) == {
             "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
             "extA", "extB", "extC", "extD", "extE", "extF", "extG", "extH",
-            "extI", "extJ", "extK", "extL", "extM", "extN",
+            "extI", "extJ", "extK", "extL", "extM", "extN", "extO",
         }
 
     def test_single_run_prints_and_writes(self, tmp_path, capsys, monkeypatch):
